@@ -1,0 +1,44 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test race bench cover experiments examples fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every paper artefact (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/nodsim -exp all
+
+# Run every example program once.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/newsondemand
+	$(GO) run ./examples/adaptation
+	$(GO) run ./examples/protocol
+	$(GO) run ./examples/multidomain
+	$(GO) run ./examples/booking
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,70 @@
+// Command catgen generates synthetic news-on-demand catalogs as JSON files
+// that qosnegd -catalog and the experiment harness can load: a configurable
+// number of articles, variant quality ladders, server placement and
+// replication factor (Section 2: copies of the same file are variants too).
+//
+// Usage:
+//
+//	catgen -articles 20 -servers 3 -replicate 2 -out catalog.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"qosneg/internal/media"
+	"qosneg/internal/qos"
+	"qosneg/internal/registry"
+	"qosneg/internal/sim"
+)
+
+func main() {
+	articles := flag.Int("articles", 10, "number of articles")
+	servers := flag.Int("servers", 3, "number of servers (server-1..N)")
+	replicate := flag.Int("replicate", 1, "copies per variant (placed on distinct servers)")
+	seed := flag.Int64("seed", 1996, "random seed for durations and quality ladders")
+	out := flag.String("out", "catalog.json", "output file")
+	flag.Parse()
+
+	var serverIDs []media.ServerID
+	for i := 1; i <= *servers; i++ {
+		serverIDs = append(serverIDs, media.ServerID(fmt.Sprintf("server-%d", i)))
+	}
+	rng := sim.NewRand(*seed)
+	reg := registry.New()
+	for i := 1; i <= *articles; i++ {
+		duration := time.Duration(60+rng.Intn(240)) * time.Second
+		spec := media.NewsArticleSpec{
+			ID:       media.DocumentID(fmt.Sprintf("news-%d", i)),
+			Title:    fmt.Sprintf("Synthetic article %d", i),
+			Duration: duration,
+			Servers:  serverIDs,
+			VideoQualities: []qos.VideoQoS{
+				{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution},
+				{Color: qos.Color, FrameRate: 15, Resolution: qos.TVResolution},
+				{Color: qos.Grey, FrameRate: 25, Resolution: qos.TVResolution},
+			},
+			AudioQualities: []qos.AudioQoS{
+				{Grade: qos.CDQuality, Language: qos.English},
+				{Grade: qos.TelephoneQuality, Language: qos.English},
+			},
+			Languages:    []qos.Language{qos.English, qos.French},
+			CopyrightFee: int64(100 + rng.Intn(900)),
+		}
+		if rng.Intn(3) == 0 {
+			spec.WithImage = true
+		}
+		doc := media.BuildNewsArticle(spec)
+		doc = media.Replicate(doc, serverIDs, *replicate)
+		if err := reg.Add(doc); err != nil {
+			log.Fatalf("catgen: %v", err)
+		}
+	}
+	if err := reg.SaveFile(*out); err != nil {
+		log.Fatalf("catgen: %v", err)
+	}
+	fmt.Printf("wrote %d articles (%d servers, replication %d) to %s\n",
+		*articles, *servers, *replicate, *out)
+}

@@ -1,0 +1,204 @@
+// Command qosctl talks to a qosnegd daemon: it lists the catalog, runs a
+// negotiation with a factory profile, confirms or rejects the reserved
+// offer, and inspects sessions.
+//
+// Usage:
+//
+//	qosctl -addr 127.0.0.1:7000 list
+//	qosctl -addr 127.0.0.1:7000 negotiate -doc news-1 -profile tv-quality [-confirm]
+//	qosctl -addr 127.0.0.1:7000 renegotiate -id 3 -profile premium [-confirm]
+//	qosctl -addr 127.0.0.1:7000 session -id 3
+//	qosctl -addr 127.0.0.1:7000 watch -id 3
+//	qosctl -addr 127.0.0.1:7000 sessions
+//	qosctl -addr 127.0.0.1:7000 invoice -id 3
+//	qosctl -addr 127.0.0.1:7000 servers
+//	qosctl -addr 127.0.0.1:7000 stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"qosneg/internal/client"
+	"qosneg/internal/core"
+	"qosneg/internal/media"
+	"qosneg/internal/network"
+	"qosneg/internal/profile"
+	"qosneg/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7000", "daemon address")
+	doc := flag.String("doc", "", "document id for negotiate")
+	profileName := flag.String("profile", "tv-quality", "factory profile: tv-quality, premium or economy")
+	clientNode := flag.String("client", "client-1", "client attachment point on the daemon's network")
+	confirm := flag.Bool("confirm", false, "confirm the offer after a successful negotiation")
+	id := flag.Uint64("id", 0, "session id for the session command")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qosctl [flags] list|negotiate|renegotiate|session|sessions|invoice|servers|watch|stats")
+		os.Exit(2)
+	}
+	c, err := protocol.Dial(*addr)
+	if err != nil {
+		log.Fatalf("qosctl: %v", err)
+	}
+	defer c.Close()
+
+	switch flag.Arg(0) {
+	case "list":
+		docs, err := c.ListDocuments("")
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		for _, d := range docs {
+			fmt.Printf("%-12s %-40s %d components\n", d.ID, d.Title, d.Components)
+		}
+	case "negotiate":
+		if *doc == "" {
+			log.Fatal("qosctl: negotiate needs -doc")
+		}
+		u, err := factoryProfile(*profileName)
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		mach := client.Workstation(client.MachineID(*clientNode), network.NodeID(*clientNode))
+		res, err := c.Negotiate(mach, media.DocumentID(*doc), u)
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		fmt.Printf("status: %s\n", res.Status)
+		if res.Reason != "" {
+			fmt.Printf("reason: %s\n", res.Reason)
+		}
+		for _, v := range res.Violations {
+			fmt.Printf("violation: %s\n", v)
+		}
+		if res.Offer != nil {
+			printOffer(res.Offer)
+		}
+		if res.Status.Reserved() {
+			fmt.Printf("session %d reserved; cost %s; confirm within %s\n", res.Session, res.Cost, res.ChoicePeriod)
+			if *confirm {
+				if err := c.Confirm(res.Session); err != nil {
+					log.Fatalf("qosctl: confirm: %v", err)
+				}
+				fmt.Println("confirmed: delivery started")
+			} else {
+				if err := c.Reject(res.Session); err != nil {
+					log.Fatalf("qosctl: reject: %v", err)
+				}
+				fmt.Println("rejected: resources released (pass -confirm to accept)")
+			}
+		}
+	case "renegotiate":
+		if *id == 0 {
+			log.Fatal("qosctl: renegotiate needs -id")
+		}
+		u, err := factoryProfile(*profileName)
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		res, err := c.Renegotiate(core.SessionID(*id), u)
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		fmt.Printf("status: %s\n", res.Status)
+		if res.Offer != nil {
+			printOffer(res.Offer)
+		}
+		if res.Status.Reserved() {
+			fmt.Printf("session %d re-reserved; cost %s; confirm within %s\n", res.Session, res.Cost, res.ChoicePeriod)
+			if *confirm {
+				if err := c.Confirm(res.Session); err != nil {
+					log.Fatalf("qosctl: confirm: %v", err)
+				}
+				fmt.Println("confirmed: delivery started")
+			}
+		}
+	case "session":
+		info, err := c.Session(core.SessionID(*id))
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		fmt.Printf("session %d: %s, position %s, %d transition(s), cost %s\n",
+			info.Session, info.State, info.Position, info.Transitions, info.Cost)
+	case "watch":
+		if *id == 0 {
+			log.Fatal("qosctl: watch needs -id")
+		}
+		err := c.Watch(core.SessionID(*id), 250*time.Millisecond, func(i protocol.SessionInfo) {
+			fmt.Printf("session %d: %-9s position %-8s transitions %d\n",
+				i.Session, i.State, i.Position, i.Transitions)
+		})
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+	case "sessions":
+		rows, err := c.ListSessions()
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%4d %-12s %-10s pos %-10s transitions %d cost %s\n",
+				r.Session, r.Document, r.State, time.Duration(r.PositionMs)*time.Millisecond, r.Transitions, r.Cost)
+		}
+	case "invoice":
+		if *id == 0 {
+			log.Fatal("qosctl: invoice needs -id")
+		}
+		inv, err := c.Invoice(core.SessionID(*id))
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		fmt.Print(inv.String())
+	case "servers":
+		loads, err := c.ServerLoads()
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		for _, l := range loads {
+			fmt.Printf("%-12s %2d streams  utilization %.2f\n", l.ID, l.ActiveStreams, l.Utilization)
+		}
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			log.Fatalf("qosctl: %v", err)
+		}
+		fmt.Printf("requests %d: SUCCEEDED %d, FAILEDWITHOFFER %d, FAILEDTRYLATER %d, "+
+			"FAILEDWITHOUTOFFER %d, FAILEDWITHLOCALOFFER %d; adaptations %d (failed %d)\n",
+			st.Requests, st.Succeeded, st.FailedWithOffer, st.FailedTryLater,
+			st.FailedWithoutOffer, st.FailedWithLocalOffer, st.Adaptations, st.AdaptationFailures)
+	default:
+		fmt.Fprintf(os.Stderr, "qosctl: unknown command %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+}
+
+func factoryProfile(name string) (profile.UserProfile, error) {
+	for _, p := range profile.DefaultProfiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return profile.UserProfile{}, fmt.Errorf("unknown factory profile %q", name)
+}
+
+func printOffer(o *profile.MMProfile) {
+	if o.Video != nil {
+		fmt.Printf("offer video: %s\n", o.Video)
+	}
+	if o.Audio != nil {
+		fmt.Printf("offer audio: %s\n", o.Audio)
+	}
+	if o.Image != nil {
+		fmt.Printf("offer image: %s\n", o.Image)
+	}
+	if o.Text != nil {
+		fmt.Printf("offer text:  %s\n", o.Text)
+	}
+}

@@ -1,0 +1,103 @@
+// Command qosnegd is the negotiation daemon: it assembles the
+// news-on-demand substrate (registry, CMFS servers, network, QoS manager),
+// loads or synthesizes a document catalog, and serves the negotiation wire
+// protocol on a TCP address. qosctl is the matching client.
+//
+// Usage:
+//
+//	qosnegd -addr :7000 -servers 3 -clients 4
+//	qosnegd -addr :7000 -catalog catalog.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qosneg"
+	"qosneg/internal/core"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7000", "TCP listen address")
+	servers := flag.Int("servers", 2, "number of CMFS servers")
+	clients := flag.Int("clients", 4, "number of provisioned client attachment points")
+	catalog := flag.String("catalog", "", "JSON document catalog to load (default: synthesize articles)")
+	tariff := flag.String("pricing", "", "JSON tariff to load (default: built-in cost tables)")
+	verbose := flag.Bool("verbose", false, "log every negotiation decision (the QoS manager's trace)")
+	articles := flag.Int("articles", 5, "synthetic articles to create when no catalog is given")
+	flag.Parse()
+
+	cfg := qosneg.Config{Clients: *clients, Servers: *servers}
+	if *verbose {
+		opts := core.DefaultOptions()
+		opts.Trace = func(e core.TraceEvent) {
+			log.Printf("negotiate: %-14s %-24s %s", e.Step, e.Offer, e.Detail)
+		}
+		cfg.Options = &opts
+	}
+	if *tariff != "" {
+		p, err := cost.LoadPricing(*tariff)
+		if err != nil {
+			log.Fatalf("qosnegd: loading tariff: %v", err)
+		}
+		cfg.Pricing = &p
+		log.Printf("loaded tariff from %s", *tariff)
+	}
+	sys, err := qosneg.New(cfg)
+	if err != nil {
+		log.Fatalf("qosnegd: %v", err)
+	}
+	if *catalog != "" {
+		if err := sys.Registry.LoadFile(*catalog); err != nil {
+			log.Fatalf("qosnegd: loading catalog: %v", err)
+		}
+		log.Printf("loaded %d documents from %s", sys.Registry.Len(), *catalog)
+	} else {
+		for i := 1; i <= *articles; i++ {
+			id := media.DocumentID(fmt.Sprintf("news-%d", i))
+			title := fmt.Sprintf("Synthetic article %d", i)
+			if _, err := sys.AddNewsArticle(id, title, 2*time.Minute); err != nil {
+				log.Fatalf("qosnegd: %v", err)
+			}
+		}
+		log.Printf("synthesized %d articles", *articles)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("qosnegd: %v", err)
+	}
+	srv := protocol.NewServer(sys.Manager, sys.Registry)
+	playout := protocol.AttachPlayout(srv, sys.Manager, 100*time.Millisecond)
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain handlers
+	// and playout goroutines, report final stats.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Printf("qosnegd: shutting down")
+		l.Close()
+		srv.Close()
+		playout.Stop()
+		st := sys.Manager.Stats()
+		log.Printf("qosnegd: served %d requests (%d succeeded, %d with degraded offer)",
+			st.Requests, st.Succeeded, st.FailedWithOffer)
+		os.Exit(0)
+	}()
+
+	log.Printf("qosnegd listening on %s (%d servers, %d client slots, real-time playout on)",
+		l.Addr(), *servers, *clients)
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("qosnegd: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package qosneg_test
+
+import (
+	"fmt"
+	"time"
+
+	"qosneg"
+	"qosneg/internal/core"
+	"qosneg/internal/session"
+	"qosneg/internal/sim"
+)
+
+// Example shows the complete public-API flow: assemble a system, register a
+// news article, negotiate with a factory profile, confirm and play to
+// completion on the simulation clock.
+func Example() {
+	sys, err := qosneg.New(qosneg.Config{Clients: 1, Servers: 2})
+	if err != nil {
+		panic(err)
+	}
+	doc, err := sys.AddNewsArticle("news-1", "Election night", time.Minute)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.Negotiate("client-1", doc.ID, "tv-quality")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("status:", res.Status)
+	fmt.Println("video:", res.Offer.Video)
+	fmt.Println("audio:", res.Offer.Audio)
+
+	eng := sim.NewEngine()
+	var out session.Outcome
+	if err := sys.Player(eng).Play(res.Session, doc, func(o session.Outcome) { out = o }); err != nil {
+		panic(err)
+	}
+	eng.RunAll()
+	fmt.Println("playout:", out.State, "at", out.Position)
+	fmt.Println("completed:", out.State == core.Completed)
+	// Output:
+	// status: SUCCEEDED
+	// video: (color, 25 frames/s, 480 pixels/line)
+	// audio: (CD quality, english)
+	// playout: completed at 1m0s
+	// completed: true
+}

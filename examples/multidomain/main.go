@@ -1,0 +1,58 @@
+// Multi-domain negotiation ([Haf 95b], the hierarchical extension of the
+// CITR QoS sub-project): two providers both carry the requested article; a
+// broker runs the negotiation procedure in each domain, compares the
+// resulting user offers under the user's importance factors, keeps the best
+// reservation and releases the other. Degrading one provider mid-demo shows
+// the broker steering new sessions to the healthy one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qosneg/internal/domain"
+	"qosneg/internal/profile"
+	"qosneg/internal/testbed"
+)
+
+func main() {
+	bedA := testbed.MustNew(testbed.Spec{})
+	bedB := testbed.MustNew(testbed.Spec{})
+	for name, bed := range map[string]*testbed.Bed{"provider-a": bedA, "provider-b": bedB} {
+		if _, err := bed.AddNewsArticle("news-1", "Election night", 2*time.Minute); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+	}
+	broker := domain.NewBroker(
+		&domain.Domain{Name: "provider-a", Manager: bedA.Manager, Registry: bedA.Registry},
+		&domain.Domain{Name: "provider-b", Manager: bedB.Manager, Registry: bedB.Registry},
+	)
+	u := profile.DefaultProfiles()[0] // tv-quality
+
+	negotiate := func(label string) {
+		res, err := broker.Negotiate(bedA.Client(1), "news-1", u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s → %s via %s", label, res.Status, res.Domain)
+		if res.Session != nil {
+			fmt.Printf(" (video %s at %s)", res.Offer.Video, res.Session.Cost())
+		}
+		fmt.Printf("  [per-domain: %v]\n", res.PerDomain)
+	}
+
+	negotiate("both providers healthy")
+
+	fmt.Println("\n-- provider-a's servers lose 99% of their disk bandwidth --")
+	for _, srv := range bedA.Servers {
+		srv.SetDegradation(0.99)
+	}
+	negotiate("provider-a degraded")
+
+	fmt.Println("\n-- provider-a recovers --")
+	for _, srv := range bedA.Servers {
+		srv.SetDegradation(0)
+	}
+	negotiate("after recovery")
+}

@@ -1,0 +1,105 @@
+// Distributed negotiation over TCP: the profile manager on the client
+// machine talks to the QoS-manager daemon over the wire protocol, exactly
+// like qosctl talks to qosnegd — here both ends run in one process on a
+// loopback listener. Demonstrates the full round: catalog listing,
+// negotiation, server-side choicePeriod enforcement, confirmation, and
+// session inspection.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"qosneg"
+	"qosneg/internal/media"
+	"qosneg/internal/profile"
+	"qosneg/internal/protocol"
+)
+
+func main() {
+	sys, err := qosneg.New(qosneg.Config{Clients: 2, Servers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, title := range []string{"Election night", "Hockey final", "Weather"} {
+		id := fmt.Sprintf("news-%d", i+1)
+		if _, err := sys.AddNewsArticle(media.DocumentID(id), title, 2*time.Minute); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Daemon side.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := protocol.NewServer(sys.Manager, sys.Registry)
+	go srv.Serve(l)
+	defer srv.Close()
+	fmt.Printf("daemon listening on %s\n", l.Addr())
+
+	// Client side.
+	c, err := protocol.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	docs, err := c.ListDocuments("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("catalog:")
+	for _, d := range docs {
+		fmt.Printf("  %-8s %-20s %d components\n", d.ID, d.Title, d.Components)
+	}
+
+	mach, err := sys.Client("client-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	u := profile.DefaultProfiles()[0] // tv-quality, 30 s choice period
+
+	// Round 1: negotiate and let the choice period expire — the daemon's
+	// timer aborts the session and reclaims resources.
+	u.Desired.Time.ChoicePeriod = 100 * time.Millisecond
+	u.Worst.Time.ChoicePeriod = 100 * time.Millisecond
+	res, err := c.Negotiate(mach, docs[0].ID, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 1: %s, offer video %s at %s, choice period %s\n",
+		res.Status, res.Offer.Video, res.Cost, res.ChoicePeriod)
+	time.Sleep(300 * time.Millisecond) // let it lapse
+	info, err := c.Session(res.Session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 1: no confirmation within %s → session state %q (expired: %d)\n",
+		res.ChoicePeriod, info.State, srv.Expired())
+
+	// Round 2: negotiate again and confirm in time.
+	u.Desired.Time.ChoicePeriod = 30 * time.Second
+	u.Worst.Time.ChoicePeriod = 30 * time.Second
+	res, err = c.Negotiate(mach, docs[0].ID, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Confirm(res.Session); err != nil {
+		log.Fatal(err)
+	}
+	info, err = c.Session(res.Session)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("round 2: confirmed → session %d state %q, cost %s\n",
+		info.Session, info.State, info.Cost)
+
+	st, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("daemon stats: %d requests, %d succeeded\n", st.Requests, st.Succeeded)
+}

@@ -1,0 +1,56 @@
+// Quickstart: assemble a news-on-demand system, register an article,
+// negotiate QoS for it with a factory profile, inspect the offer, confirm,
+// and play it to completion on the simulation clock.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"qosneg"
+	"qosneg/internal/session"
+	"qosneg/internal/sim"
+)
+
+func main() {
+	// A system with one client workstation and two media file servers
+	// around a switch, default cost tables and disk models.
+	sys, err := qosneg.New(qosneg.Config{Clients: 1, Servers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A three-minute news article with video variants (color/grey/b&w at
+	// several frame rates), CD and telephone audio, and captions in two
+	// languages, spread across both servers.
+	doc, err := sys.AddNewsArticle("news-1", "Election night special", 3*time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %q with %d monomedia components\n", doc.Title, len(doc.Monomedia))
+
+	// Negotiate with the factory "tv-quality" profile: color video at
+	// 25 frames/s TV resolution, CD audio, 6$ budget.
+	res, err := sys.Negotiate("client-1", doc.ID, "tv-quality")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("negotiation status: %s\n", res.Status)
+	if !res.Status.Reserved() {
+		log.Fatalf("no offer reserved: %s", res.Reason)
+	}
+	fmt.Printf("user offer: video %s, audio %s, cost %s (confirm within %s)\n",
+		res.Offer.Video, res.Offer.Audio, res.Session.Cost(), res.Session.ChoicePeriod)
+
+	// Step 6: confirm and play on the discrete-event clock.
+	eng := sim.NewEngine()
+	player := sys.Player(eng)
+	var outcome session.Outcome
+	if err := player.Play(res.Session, doc, func(o session.Outcome) { outcome = o }); err != nil {
+		log.Fatal(err)
+	}
+	eng.RunAll()
+	fmt.Printf("playout %s at position %s after %s of virtual time\n",
+		outcome.State, outcome.Position, outcome.FinishedAt)
+}

@@ -1,0 +1,3 @@
+module qosneg
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package adaptation implements the QoS violation monitor that drives the
+// automatic adaptation of Section 4: "During the playout of the document,
+// if the network or/and the server machine become congested thus leading to
+// lower presentation quality, the QoS manager makes use of the adaptation
+// procedure."
+//
+// The monitor scans the substrate (CMFS servers and the network) for
+// overcommitted reservations — the simulation's stand-in for the QoS
+// violation notifications of the real prototype — maps each victim
+// reservation to its session, and asks the QoS manager to adapt that
+// session onto an alternate system offer. The user/application is not
+// involved, per the paper's fourth design characteristic.
+package adaptation
+
+import (
+	"time"
+
+	"qosneg/internal/cmfs"
+	"qosneg/internal/core"
+	"qosneg/internal/network"
+	"qosneg/internal/sim"
+)
+
+// Monitor watches servers and the network for QoS violations.
+type Monitor struct {
+	man     *core.Manager
+	net     *network.Network
+	servers []*cmfs.Server
+}
+
+// New builds a monitor over the given QoS manager and substrate.
+func New(man *core.Manager, net *network.Network, servers ...*cmfs.Server) *Monitor {
+	return &Monitor{man: man, net: net, servers: servers}
+}
+
+// Report summarizes one scan.
+type Report struct {
+	// Violations counts victim reservations found, before session
+	// de-duplication.
+	Violations int
+	// Adapted lists the successful transitions.
+	Adapted []core.Transition
+	// Failed lists sessions whose adaptation failed (now aborted).
+	Failed []core.SessionID
+	// Skipped counts victims whose session was not playing (reserved
+	// sessions are left for the confirmation flow to resolve).
+	Skipped int
+}
+
+// Scan performs one violation sweep: every overcommitted server or network
+// reservation is traced to its session and each affected playing session is
+// adapted at most once.
+func (m *Monitor) Scan() Report {
+	var rep Report
+	affected := make(map[core.SessionID]bool)
+
+	consider := func(s *core.Session, ok bool) {
+		rep.Violations++
+		if !ok {
+			return
+		}
+		if s.State() != core.Playing {
+			rep.Skipped++
+			return
+		}
+		affected[s.ID] = true
+	}
+
+	for _, srv := range m.servers {
+		for _, victim := range srv.Overcommitted() {
+			s, ok := m.man.SessionByServerReservation(srv.ID(), victim.ID)
+			consider(s, ok)
+		}
+	}
+	if m.net != nil {
+		for _, victim := range m.net.Overcommitted() {
+			s, ok := m.man.SessionByNetworkReservation(victim.ID)
+			consider(s, ok)
+		}
+	}
+
+	// Adapt sessions in id order for determinism.
+	ids := make([]core.SessionID, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		tr, err := m.man.Adapt(id)
+		if err != nil {
+			rep.Failed = append(rep.Failed, id)
+			continue
+		}
+		rep.Adapted = append(rep.Adapted, tr)
+	}
+	return rep
+}
+
+// Attach schedules a recurring Scan on the simulation engine every
+// interval, reporting each non-empty scan to report (which may be nil).
+// The returned stop function cancels future scans.
+func (m *Monitor) Attach(eng *sim.Engine, interval time.Duration, report func(Report)) (stop func()) {
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		rep := m.Scan()
+		if report != nil && rep.Violations > 0 {
+			report(rep)
+		}
+		eng.MustSchedule(interval, tick)
+	}
+	eng.MustSchedule(interval, tick)
+	return func() { stopped = true }
+}

@@ -1,0 +1,337 @@
+// Package cmfs simulates the continuous-media file server of the
+// news-on-demand prototype ([Neu 96], University of British Columbia): a
+// variable-bit-rate file server that admits streams with a disk-round
+// model and lets the QoS manager reserve and release delivery resources
+// (negotiation step 5, "asks ... the media file servers to reserve
+// resources to support the QoS associated with the system offer").
+//
+// Admission model. The disk serves all active streams once per service
+// round of length R. A stream with average bit rate r needs r×R/8 bytes per
+// round; each admitted stream additionally costs one seek per round. A new
+// stream is admitted iff
+//
+//	Σᵢ bytesPerRound(rᵢ)  ≤  (R − n·tSeek) × diskRate
+//
+// where n counts the streams including the candidate. This is the
+// round-based admission test of the VBR CMFS literature; its parameters
+// (disk transfer rate, seek time, round length) are configurable per
+// server.
+//
+// Degradation injection. Experiments shrink a server's effective disk rate
+// with SetDegradation; streams that no longer fit are reported by
+// Overcommitted, which the QoS manager's adaptation procedure consumes.
+package cmfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qosneg/internal/media"
+	"qosneg/internal/qos"
+)
+
+// ErrAdmission is returned when the disk-round admission test fails.
+var ErrAdmission = errors.New("cmfs: admission test failed")
+
+// ErrUnknownReservation is returned when releasing a reservation the server
+// does not hold.
+var ErrUnknownReservation = errors.New("cmfs: unknown reservation")
+
+// AdmissionPolicy selects which negotiated rate the admission test charges.
+type AdmissionPolicy int
+
+// The admission policies of the VBR CMFS literature.
+const (
+	// ByAverage charges each stream its average bit rate: the statistical
+	// multiplexing admission of [Neu 96], with peaks absorbed by the
+	// client-side buffer.
+	ByAverage AdmissionPolicy = iota
+	// ByPeak charges the maximum bit rate: the conservative
+	// deterministic-guarantee admission.
+	ByPeak
+)
+
+// String names the policy.
+func (p AdmissionPolicy) String() string {
+	if p == ByPeak {
+		return "by-peak"
+	}
+	return "by-average"
+}
+
+// Config parameterizes a server's disk model.
+type Config struct {
+	// DiskRate is the sustained disk transfer rate.
+	DiskRate qos.BitRate
+	// SeekTime is the per-stream seek overhead paid once per round.
+	SeekTime time.Duration
+	// RoundLength is the service round R.
+	RoundLength time.Duration
+	// MaxStreams caps concurrency regardless of bandwidth (stream
+	// contexts, buffers). Zero means no cap.
+	MaxStreams int
+	// Policy selects the admission test's charged rate (default
+	// ByAverage).
+	Policy AdmissionPolicy
+}
+
+// DefaultConfig returns the disk model used by the examples and
+// experiments: a mid-1990s fast-wide SCSI array sustaining 64 Mbit/s with
+// 12 ms seeks and a one-second service round.
+func DefaultConfig() Config {
+	return Config{
+		DiskRate:    64 * qos.MBitPerSecond,
+		SeekTime:    12 * time.Millisecond,
+		RoundLength: time.Second,
+		MaxStreams:  64,
+	}
+}
+
+// Validate reports an error for non-positive model parameters.
+func (c Config) Validate() error {
+	if c.DiskRate <= 0 {
+		return fmt.Errorf("cmfs config: non-positive disk rate %v", c.DiskRate)
+	}
+	if c.SeekTime < 0 {
+		return fmt.Errorf("cmfs config: negative seek time")
+	}
+	if c.RoundLength <= 0 {
+		return fmt.Errorf("cmfs config: non-positive round length")
+	}
+	if c.MaxStreams < 0 {
+		return fmt.Errorf("cmfs config: negative stream cap")
+	}
+	return nil
+}
+
+// ReservationID names a stream reservation on one server.
+type ReservationID uint64
+
+// Reservation records one admitted stream.
+type Reservation struct {
+	ID ReservationID
+	// Rate is the bit rate the admission test charged: the average under
+	// the ByAverage policy (peaks absorbed by the client-side buffer, as
+	// in [Neu 96]), the maximum under ByPeak.
+	Rate qos.BitRate
+	// Peak is the negotiated maximum bit rate, kept for accounting.
+	Peak qos.BitRate
+}
+
+// Server simulates one continuous-media file server. It is safe for
+// concurrent use.
+type Server struct {
+	id  media.ServerID
+	cfg Config
+
+	mu          sync.Mutex
+	next        ReservationID
+	streams     map[ReservationID]Reservation
+	degradation float64 // fraction of DiskRate lost, in [0, 1)
+}
+
+// NewServer builds a server with the given identity and disk model.
+func NewServer(id media.ServerID, cfg Config) (*Server, error) {
+	if id == "" {
+		return nil, fmt.Errorf("cmfs: empty server id")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{id: id, cfg: cfg, streams: make(map[ReservationID]Reservation)}, nil
+}
+
+// MustServer is NewServer that panics on error; for fixtures.
+func MustServer(id media.ServerID, cfg Config) *Server {
+	s, err := NewServer(id, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ID returns the server's identity.
+func (s *Server) ID() media.ServerID { return s.id }
+
+// Config returns the server's disk model.
+func (s *Server) Config() Config { return s.cfg }
+
+// bytesPerRound is the per-round transfer a stream of rate r needs.
+func (s *Server) bytesPerRound(r qos.BitRate) int64 {
+	return int64(r) / 8 * int64(s.cfg.RoundLength) / int64(time.Second)
+}
+
+// roundBudget is the transferable bytes per round with n admitted streams,
+// under the current degradation.
+func (s *Server) roundBudget(n int) int64 {
+	transfer := s.cfg.RoundLength - time.Duration(n)*s.cfg.SeekTime
+	if transfer <= 0 {
+		return 0
+	}
+	rate := float64(s.cfg.DiskRate) * (1 - s.degradation)
+	return int64(rate / 8 * float64(transfer) / float64(time.Second))
+}
+
+// chargedRate is the rate the admission policy charges for a request.
+func (s *Server) chargedRate(n qos.NetworkQoS) qos.BitRate {
+	if s.cfg.Policy == ByPeak && n.MaxBitRate > n.AvgBitRate {
+		return n.MaxBitRate
+	}
+	return n.AvgBitRate
+}
+
+// Admit runs the admission test for a candidate stream of the given network
+// QoS without reserving. It returns nil when the stream would be admitted.
+func (s *Server) Admit(n qos.NetworkQoS) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.admitLocked(s.chargedRate(n))
+}
+
+func (s *Server) admitLocked(rate qos.BitRate) error {
+	if rate < 0 {
+		return fmt.Errorf("cmfs %s: negative rate", s.id)
+	}
+	n := len(s.streams) + 1
+	if s.cfg.MaxStreams > 0 && n > s.cfg.MaxStreams {
+		return fmt.Errorf("%w: server %s at stream cap %d", ErrAdmission, s.id, s.cfg.MaxStreams)
+	}
+	var demand int64
+	for _, r := range s.streams {
+		demand += s.bytesPerRound(r.Rate)
+	}
+	demand += s.bytesPerRound(rate)
+	if budget := s.roundBudget(n); demand > budget {
+		return fmt.Errorf("%w: server %s needs %d bytes/round, budget %d", ErrAdmission, s.id, demand, budget)
+	}
+	return nil
+}
+
+// Reserve admits and reserves a stream; it returns the reservation that a
+// later Release must present. Discrete media (zero rate) reserve no disk
+// bandwidth but still count against the stream cap while being fetched.
+func (s *Server) Reserve(n qos.NetworkQoS) (Reservation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	charged := s.chargedRate(n)
+	if err := s.admitLocked(charged); err != nil {
+		return Reservation{}, err
+	}
+	s.next++
+	r := Reservation{ID: s.next, Rate: charged, Peak: n.MaxBitRate}
+	s.streams[r.ID] = r
+	return r, nil
+}
+
+// Release frees a reservation.
+func (s *Server) Release(id ReservationID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.streams[id]; !ok {
+		return fmt.Errorf("%w: %d on server %s", ErrUnknownReservation, id, s.id)
+	}
+	delete(s.streams, id)
+	return nil
+}
+
+// ActiveStreams returns the number of admitted streams.
+func (s *Server) ActiveStreams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.streams)
+}
+
+// Utilization returns the fraction of the current round budget consumed by
+// admitted streams, in [0, +inf) (values above 1 indicate overcommitment
+// after degradation).
+func (s *Server) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	budget := s.roundBudget(len(s.streams))
+	if budget == 0 {
+		if len(s.streams) == 0 {
+			return 0
+		}
+		return 1
+	}
+	var demand int64
+	for _, r := range s.streams {
+		demand += s.bytesPerRound(r.Rate)
+	}
+	return float64(demand) / float64(budget)
+}
+
+// SetDegradation shrinks the effective disk rate by the given fraction in
+// [0, 1); experiments use it to inject server congestion. Already-admitted
+// streams keep their reservations; Overcommitted reports the casualties.
+func (s *Server) SetDegradation(fraction float64) error {
+	if fraction < 0 || fraction >= 1 {
+		return fmt.Errorf("cmfs %s: degradation fraction %g outside [0, 1)", s.id, fraction)
+	}
+	s.mu.Lock()
+	s.degradation = fraction
+	s.mu.Unlock()
+	return nil
+}
+
+// Overcommitted returns the reservations that no longer fit in the degraded
+// round budget, largest rate first: the streams the disk can no longer
+// serve at their negotiated QoS. An empty result means every admitted
+// stream still fits.
+func (s *Server) Overcommitted() []Reservation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := make([]Reservation, 0, len(s.streams))
+	for _, r := range s.streams {
+		res = append(res, r)
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Rate != res[j].Rate {
+			return res[i].Rate < res[j].Rate
+		}
+		return res[i].ID < res[j].ID
+	})
+	// Keep the cheapest streams that fit; everything else is a casualty.
+	budget := s.roundBudget(len(s.streams))
+	var demand int64
+	keep := 0
+	for _, r := range res {
+		d := s.bytesPerRound(r.Rate)
+		if demand+d > budget {
+			break
+		}
+		demand += d
+		keep++
+	}
+	victims := res[keep:]
+	out := make([]Reservation, len(victims))
+	copy(out, victims)
+	sort.Slice(out, func(i, j int) bool { return out[i].Rate > out[j].Rate })
+	return out
+}
+
+// Capacity reports how many additional streams of the given rate the server
+// could admit right now; a sizing helper for experiments.
+func (s *Server) Capacity(rate qos.BitRate) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	count := 0
+	var demand int64
+	for _, r := range s.streams {
+		demand += s.bytesPerRound(r.Rate)
+	}
+	per := s.bytesPerRound(rate)
+	for {
+		n := len(s.streams) + count + 1
+		if s.cfg.MaxStreams > 0 && n > s.cfg.MaxStreams {
+			return count
+		}
+		if demand+per*int64(count+1) > s.roundBudget(n) {
+			return count
+		}
+		count++
+	}
+}

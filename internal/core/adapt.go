@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+
+	"qosneg/internal/cmfs"
+	"qosneg/internal/media"
+	"qosneg/internal/network"
+	"qosneg/internal/offer"
+)
+
+// Transition records one completed adaptation: the offer the session left,
+// the offer it moved to and the playout position the presentation restarted
+// from ("the QoS Manager stops the presentation of the document after
+// having obtained the current position of the document, and restarts the
+// presentation (using the alternate components) from the position
+// parameter").
+type Transition struct {
+	Session SessionID
+	From    offer.Ranked
+	To      offer.Ranked
+	// Position is the playout position preserved across the transition.
+	Position int64 // nanoseconds, JSON-friendly
+}
+
+// Adapt runs the adaptation procedure of Section 4 on a playing session
+// whose current offer is in difficulty: it considers the ordered set of
+// system offers, except the current one, and re-executes the resource
+// commitment step. On success the session transparently switches to the
+// alternate configuration, keeping its playout position. On failure the
+// session is aborted and ErrAdaptationFailed returned.
+func (m *Manager) Adapt(id SessionID) (Transition, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return Transition{}, fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	s.mu.Lock()
+	if s.state != Playing {
+		st := s.state
+		s.mu.Unlock()
+		return Transition{}, fmt.Errorf("%w: adapt in state %v", ErrBadState, st)
+	}
+	current := s.Current
+	old := s.commit
+	s.commit = commitment{}
+	mach := s.Machine
+	u := s.Profile
+	ranked := s.Ranked
+	doc := s.Document
+	s.mu.Unlock()
+
+	// Stop the presentation: release the troubled configuration first so
+	// surviving capacity can be re-used by the alternate offer.
+	m.release(old)
+
+	d, err := m.registry.Document(doc)
+	if err != nil {
+		m.Abort(id)
+		return Transition{}, err
+	}
+
+	// Consider the ordered offers except the current one, acceptable set
+	// first, as in step 5.
+	acceptable, feasible := offer.Partition(ranked, u)
+	for _, group := range [][]offer.Ranked{acceptable, feasible} {
+		for _, r := range group {
+			if r.Key() == current.Key() {
+				continue
+			}
+			cm, ok := m.tryCommit(mach, d, u, r)
+			if !ok {
+				continue
+			}
+			s.mu.Lock()
+			s.commit = cm
+			s.Current = r
+			s.transition++
+			pos := s.position
+			s.mu.Unlock()
+			m.mu.Lock()
+			m.stats.Adaptations++
+			m.mu.Unlock()
+			return Transition{Session: id, From: current, To: r, Position: int64(pos)}, nil
+		}
+	}
+
+	s.mu.Lock()
+	s.state = Aborted
+	s.mu.Unlock()
+	m.mu.Lock()
+	m.stats.AdaptationFailures++
+	m.mu.Unlock()
+	return Transition{}, fmt.Errorf("%w: session %d", ErrAdaptationFailed, id)
+}
+
+// SessionByServerReservation finds the playing or reserved session holding
+// the given CMFS reservation; the adaptation monitor uses it to map server
+// overcommitments to sessions.
+func (m *Manager) SessionByServerReservation(server media.ServerID, res cmfs.ReservationID) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		if s.state != Playing && s.state != Reserved {
+			s.mu.Unlock()
+			continue
+		}
+		for _, sr := range s.commit.servers {
+			if sr.server.ID() == server && sr.res.ID == res {
+				s.mu.Unlock()
+				return s, true
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil, false
+}
+
+// SessionByNetworkReservation finds the playing or reserved session holding
+// the given network reservation.
+func (m *Manager) SessionByNetworkReservation(res network.ReservationID) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		if s.state != Playing && s.state != Reserved {
+			s.mu.Unlock()
+			continue
+		}
+		for _, c := range s.commit.conns {
+			if c.Reservation.ID == res {
+				s.mu.Unlock()
+				return s, true
+			}
+		}
+		s.mu.Unlock()
+	}
+	return nil, false
+}

@@ -1,0 +1,637 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qosneg/internal/client"
+	"qosneg/internal/cmfs"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/network"
+	"qosneg/internal/offer"
+	"qosneg/internal/profile"
+	"qosneg/internal/registry"
+	"qosneg/internal/transport"
+)
+
+// ErrUnknownSession is returned for operations on sessions the manager does
+// not hold.
+var ErrUnknownSession = errors.New("core: unknown session")
+
+// ErrBadState is returned when a session operation is invalid in the
+// session's current state.
+var ErrBadState = errors.New("core: invalid session state")
+
+// ErrAdaptationFailed is returned when no alternate system offer can be
+// committed for a degraded session.
+var ErrAdaptationFailed = errors.New("core: adaptation failed, no alternate offer supportable")
+
+// TraceEvent records one decision of the negotiation procedure; install a
+// tracer via Options.Trace to see why the QoS manager picked (or skipped)
+// each offer — the explainability side of "smart negotiation".
+type TraceEvent struct {
+	// Step names the decision point: "local-failed", "no-variant",
+	// "commit-attempt", "commit-failed", "committed", "exhausted".
+	Step string
+	// Offer is the offer key at commit decision points.
+	Offer string
+	// Detail carries the status, OIF or failure reason.
+	Detail string
+}
+
+// Options tunes the QoS manager.
+type Options struct {
+	// Classifier orders the feasible offers; nil selects the paper's
+	// SNS-primary classification.
+	Classifier offer.Classifier
+	// Trace, when non-nil, receives a TraceEvent per negotiation
+	// decision. Must be fast and non-blocking; called on the negotiating
+	// goroutine.
+	Trace func(TraceEvent)
+	// ChoicePeriod is the default confirmation window when the user
+	// profile does not set one (Section 8).
+	ChoicePeriod time.Duration
+	// MaxOffers bounds offer enumeration.
+	MaxOffers int
+	// PathAlternates is how many candidate network paths the transport
+	// system tries per stream.
+	PathAlternates int
+}
+
+// DefaultOptions returns the options used by the examples: SNS-primary
+// classification, a 30-second choice period and 3 path alternates.
+func DefaultOptions() Options {
+	return Options{
+		Classifier:     offer.SNSPrimary{},
+		ChoicePeriod:   30 * time.Second,
+		MaxOffers:      1 << 16,
+		PathAlternates: 3,
+	}
+}
+
+// Result is the outcome of a negotiation: the negotiation status and,
+// depending on it, a user offer, a reserved session, local-negotiation
+// violations, or a diagnostic reason.
+type Result struct {
+	Status NegotiationStatus
+	// Offer is the user offer: the committed offer for SUCCEEDED and
+	// FAILEDWITHOFFER, the clamped local offer for FAILEDWITHLOCALOFFER,
+	// nil otherwise.
+	Offer *profile.MMProfile
+	// Session is the reserved session awaiting confirmation, non-nil iff
+	// Status.Reserved().
+	Session *Session
+	// Violations lists the failed client-capability checks for
+	// FAILEDWITHLOCALOFFER.
+	Violations []client.LocalViolation
+	// Reason carries a human-readable diagnostic for the failure
+	// statuses.
+	Reason string
+}
+
+// Manager is the QoS manager: it owns the negotiation procedure, the
+// session table and the adaptation procedure. It is safe for concurrent
+// use.
+type Manager struct {
+	registry  *registry.Registry
+	transport *transport.System
+	pricing   cost.Pricing
+	opts      Options
+
+	mu       sync.Mutex
+	servers  map[media.ServerID]serverEntry
+	sessions map[SessionID]*Session
+	nextID   SessionID
+
+	// stats accumulates negotiation outcomes for the experiments.
+	stats Stats
+}
+
+type serverEntry struct {
+	server *cmfs.Server
+	node   network.NodeID
+}
+
+// Stats counts negotiation outcomes.
+type Stats struct {
+	Requests             int
+	Succeeded            int
+	FailedWithOffer      int
+	FailedTryLater       int
+	FailedWithoutOffer   int
+	FailedWithLocalOffer int
+	Adaptations          int
+	AdaptationFailures   int
+	// Revenue accumulates the price of completed sessions, in
+	// milli-dollars: the system only bills for deliveries that finished.
+	Revenue cost.Money
+}
+
+// NewManager builds a QoS manager over the given substrate.
+func NewManager(reg *registry.Registry, ts *transport.System, pricing cost.Pricing, opts Options) *Manager {
+	if opts.Classifier == nil {
+		opts.Classifier = offer.SNSPrimary{}
+	}
+	if opts.ChoicePeriod <= 0 {
+		opts.ChoicePeriod = 30 * time.Second
+	}
+	return &Manager{
+		registry:  reg,
+		transport: ts,
+		pricing:   pricing,
+		opts:      opts,
+		servers:   make(map[media.ServerID]serverEntry),
+		sessions:  make(map[SessionID]*Session),
+	}
+}
+
+// AddServer registers a media file server and its network attachment point.
+func (m *Manager) AddServer(s *cmfs.Server, node network.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.servers[s.ID()] = serverEntry{server: s, node: node}
+}
+
+// Stats returns a snapshot of the outcome counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// negOutcome is the result of the session-independent part of the
+// negotiation procedure: steps 1–5 without session bookkeeping.
+type negOutcome struct {
+	status     NegotiationStatus
+	reason     string
+	violations []client.LocalViolation
+	localOffer *profile.MMProfile
+	// ranked is the full classified offer list (steps 3–4); set whenever
+	// enumeration succeeded.
+	ranked []offer.Ranked
+	// chosen and commit are set when resources were reserved.
+	chosen offer.Ranked
+	commit commitment
+}
+
+// trace emits a trace event when a tracer is installed.
+func (m *Manager) trace(step, offerKey, detail string) {
+	if m.opts.Trace != nil {
+		m.opts.Trace(TraceEvent{Step: step, Offer: offerKey, Detail: detail})
+	}
+}
+
+// runProcedure executes steps 1–5 of Section 4.
+func (m *Manager) runProcedure(mach client.Machine, doc media.Document, u profile.UserProfile) (negOutcome, error) {
+	// Step 1: static local negotiation.
+	if violations := mach.CheckLocal(u.Desired); len(violations) > 0 {
+		local := mach.LocalOffer(u.Desired)
+		m.trace("local-failed", "", violations[0].String())
+		return negOutcome{
+			status:     FailedWithLocalOffer,
+			localOffer: &local,
+			violations: violations,
+			reason:     fmt.Sprintf("client machine cannot render the requested QoS: %v", violations[0]),
+		}, nil
+	}
+
+	// Step 2: static compatibility checking + offer enumeration.
+	offers, err := offer.Enumerate(doc, mach, m.pricing, offer.EnumerateOptions{
+		MaxOffers: m.opts.MaxOffers,
+		Guarantee: u.Desired.Cost.Guarantee,
+	})
+	if err != nil {
+		var nv *offer.NoVariantError
+		if errors.As(err, &nv) {
+			m.trace("no-variant", "", string(nv.Monomedia))
+			return negOutcome{
+				status: FailedWithoutOffer,
+				reason: fmt.Sprintf("no feasible physical configuration: %v", err),
+			}, nil
+		}
+		return negOutcome{}, err
+	}
+
+	// Steps 3–4: classification parameters + classification.
+	ranked := offer.Rank(offers, u)
+	m.opts.Classifier.Sort(ranked)
+	acceptable, feasible := offer.Partition(ranked, u)
+
+	// Step 5: resource commitment, acceptable set first.
+	for _, group := range [][]offer.Ranked{acceptable, feasible} {
+		for _, r := range group {
+			m.trace("commit-attempt", r.Key(), fmt.Sprintf("%s OIF=%.4g %s", r.Status, r.OIF, r.Total()))
+			cm, ok := m.tryCommit(mach, doc, u, r)
+			if !ok {
+				m.trace("commit-failed", r.Key(), "insufficient resources or constraint violated")
+				continue
+			}
+			status := FailedWithOffer
+			if r.Status != offer.Constraint && offer.WithinBudget(r.SystemOffer, u) {
+				status = Succeeded
+			}
+			m.trace("committed", r.Key(), status.String())
+			return negOutcome{status: status, ranked: ranked, chosen: r, commit: cm}, nil
+		}
+	}
+
+	// Every feasible offer failed commitment: resources shortage.
+	m.trace("exhausted", "", fmt.Sprintf("%d feasible offers", len(ranked)))
+	return negOutcome{
+		status: FailedTryLater,
+		ranked: ranked,
+		reason: fmt.Sprintf("no resources for any of %d feasible offers", len(ranked)),
+	}, nil
+}
+
+// choicePeriodFor resolves the confirmation window for a profile.
+func (m *Manager) choicePeriodFor(u profile.UserProfile) time.Duration {
+	if c := u.Desired.Time.ChoicePeriod; c > 0 {
+		return c
+	}
+	return m.opts.ChoicePeriod
+}
+
+// Negotiate runs the negotiation procedure of Section 4 for the given
+// client machine, document and user profile. The returned Result carries
+// the negotiation status and, when resources were reserved, the session the
+// user must confirm within the choice period.
+func (m *Manager) Negotiate(mach client.Machine, docID media.DocumentID, u profile.UserProfile) (Result, error) {
+	doc, err := m.registry.Document(docID)
+	if err != nil {
+		return Result{}, err
+	}
+	m.mu.Lock()
+	m.stats.Requests++
+	m.mu.Unlock()
+
+	out, err := m.runProcedure(mach, doc, u)
+	if err != nil {
+		return Result{}, err
+	}
+	m.count(out.status)
+	if !out.status.Reserved() {
+		return Result{
+			Status:     out.status,
+			Offer:      out.localOffer,
+			Violations: out.violations,
+			Reason:     out.reason,
+		}, nil
+	}
+	sess := &Session{
+		Machine:      mach,
+		Document:     doc.ID,
+		Profile:      u,
+		Current:      out.chosen,
+		Ranked:       out.ranked,
+		ChoicePeriod: m.choicePeriodFor(u),
+		state:        Reserved,
+		commit:       out.commit,
+	}
+	m.mu.Lock()
+	m.nextID++
+	sess.ID = m.nextID
+	m.sessions[sess.ID] = sess
+	m.mu.Unlock()
+	uo := out.chosen.UserOffer()
+	return Result{Status: out.status, Offer: &uo, Session: sess}, nil
+}
+
+// Renegotiate re-runs the negotiation procedure for a reserved session with
+// a modified user profile: the GUI's "modify the offer and then push OK to
+// initiate a renegotiation" (Section 8). The session's current reservation
+// is released first; on success the same session holds the new offer and a
+// fresh choice period, on failure (any non-reserved status) the session is
+// aborted and the Result explains why.
+func (m *Manager) Renegotiate(id SessionID, u profile.UserProfile) (Result, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	s.mu.Lock()
+	if s.state != Reserved {
+		st := s.state
+		s.mu.Unlock()
+		return Result{}, fmt.Errorf("%w: renegotiate in state %v", ErrBadState, st)
+	}
+	mach := s.Machine
+	docID := s.Document
+	old := s.commit
+	s.commit = commitment{}
+	s.mu.Unlock()
+
+	doc, err := m.registry.Document(docID)
+	if err != nil {
+		m.Abort(id)
+		return Result{}, err
+	}
+	m.release(old)
+
+	m.mu.Lock()
+	m.stats.Requests++
+	m.mu.Unlock()
+	out, err := m.runProcedure(mach, doc, u)
+	if err != nil {
+		m.Abort(id)
+		return Result{}, err
+	}
+	m.count(out.status)
+	if !out.status.Reserved() {
+		s.mu.Lock()
+		s.state = Aborted
+		s.mu.Unlock()
+		return Result{
+			Status:     out.status,
+			Offer:      out.localOffer,
+			Violations: out.violations,
+			Reason:     out.reason,
+		}, nil
+	}
+	s.mu.Lock()
+	s.Profile = u
+	s.Current = out.chosen
+	s.Ranked = out.ranked
+	s.ChoicePeriod = m.choicePeriodFor(u)
+	s.commit = out.commit
+	s.mu.Unlock()
+	uo := out.chosen.UserOffer()
+	return Result{Status: out.status, Offer: &uo, Session: s}, nil
+}
+
+func (m *Manager) count(s NegotiationStatus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch s {
+	case Succeeded:
+		m.stats.Succeeded++
+	case FailedWithOffer:
+		m.stats.FailedWithOffer++
+	case FailedTryLater:
+		m.stats.FailedTryLater++
+	case FailedWithoutOffer:
+		m.stats.FailedWithoutOffer++
+	case FailedWithLocalOffer:
+		m.stats.FailedWithLocalOffer++
+	}
+}
+
+// tryCommit reserves server and network resources for every choice of the
+// offer. It either commits everything or rolls back and reports failure.
+func (m *Manager) tryCommit(mach client.Machine, doc media.Document, u profile.UserProfile, r offer.Ranked) (commitment, bool) {
+	var cm commitment
+	rollback := func() {
+		for _, sr := range cm.servers {
+			sr.server.Release(sr.res.ID)
+		}
+		for _, c := range cm.conns {
+			m.transport.Close(c)
+		}
+	}
+	var startDelay time.Duration
+	jitterByMono := make(map[media.MonomediaID]time.Duration, len(r.Choices))
+	for _, ch := range r.Choices {
+		m.mu.Lock()
+		entry, ok := m.servers[ch.Variant.Server]
+		m.mu.Unlock()
+		if !ok {
+			rollback()
+			return commitment{}, false
+		}
+		netQoS := ch.Variant.NetworkQoS()
+		res, err := entry.server.Reserve(netQoS)
+		if err != nil {
+			rollback()
+			return commitment{}, false
+		}
+		cm.servers = append(cm.servers, serverReservation{server: entry.server, res: res})
+		conn, err := m.transport.Connect(entry.node, mach.Node, netQoS)
+		if err != nil {
+			rollback()
+			return commitment{}, false
+		}
+		cm.conns = append(cm.conns, conn)
+		if d := conn.Metrics.Delay + entry.server.Config().RoundLength; d > startDelay {
+			startDelay = d
+		}
+		if !netQoS.Zero() {
+			jitterByMono[ch.Monomedia] = conn.Metrics.Jitter
+		}
+	}
+	// Time profile: the committed configuration must be able to start the
+	// presentation within the user's start-delay bound.
+	if max := u.Desired.Time.MaxStartDelay; max > 0 && startDelay > max {
+		rollback()
+		return commitment{}, false
+	}
+	// Synchronization feasibility: for every temporal constraint with a
+	// skew tolerance, the committed paths' combined jitter — the bound the
+	// synchronization protocol must compensate [Lam 94] — must fit the
+	// tolerance; otherwise this configuration cannot hold lip-sync.
+	for _, tc := range doc.Temporal {
+		if tc.Tolerance <= 0 {
+			continue
+		}
+		ja, okA := jitterByMono[tc.A]
+		jb, okB := jitterByMono[tc.B]
+		if okA && okB && ja+jb > tc.Tolerance {
+			rollback()
+			return commitment{}, false
+		}
+	}
+	return cm, true
+}
+
+// release frees a session's committed resources.
+func (m *Manager) release(cm commitment) {
+	for _, sr := range cm.servers {
+		sr.server.Release(sr.res.ID)
+	}
+	for _, c := range cm.conns {
+		m.transport.Close(c)
+	}
+}
+
+// Confirm is step 6's acceptance: the session moves from Reserved to
+// Playing and the presentation starts.
+func (m *Manager) Confirm(id SessionID) error {
+	s, err := m.Session(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != Reserved {
+		return fmt.Errorf("%w: confirm in state %v", ErrBadState, s.state)
+	}
+	s.state = Playing
+	return nil
+}
+
+// Reject is step 6's rejection (or the choicePeriod time-out): reserved
+// resources are de-allocated and the session is aborted.
+func (m *Manager) Reject(id SessionID) error {
+	s, err := m.Session(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.state != Reserved {
+		st := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("%w: reject in state %v", ErrBadState, st)
+	}
+	s.state = Aborted
+	cm := s.commit
+	s.commit = commitment{}
+	s.mu.Unlock()
+	m.release(cm)
+	return nil
+}
+
+// Advance moves a playing session's position forward; the playout driver
+// (package session) calls it as virtual time passes.
+func (m *Manager) Advance(id SessionID, dt time.Duration) error {
+	s, err := m.Session(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != Playing {
+		return fmt.Errorf("%w: advance in state %v", ErrBadState, s.state)
+	}
+	s.position += dt
+	return nil
+}
+
+// Complete finishes a playing session and releases its resources.
+func (m *Manager) Complete(id SessionID) error {
+	s, err := m.Session(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.state != Playing {
+		st := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("%w: complete in state %v", ErrBadState, st)
+	}
+	s.state = Completed
+	cm := s.commit
+	s.commit = commitment{}
+	price := s.Current.Total()
+	s.mu.Unlock()
+	m.release(cm)
+	m.mu.Lock()
+	m.stats.Revenue += price
+	m.mu.Unlock()
+	return nil
+}
+
+// Abort terminates a session in any live state and releases its resources.
+func (m *Manager) Abort(id SessionID) error {
+	s, err := m.Session(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.state == Completed || s.state == Aborted {
+		s.mu.Unlock()
+		return nil
+	}
+	s.state = Aborted
+	cm := s.commit
+	s.commit = commitment{}
+	s.mu.Unlock()
+	m.release(cm)
+	return nil
+}
+
+// Session returns the session with the given id.
+func (m *Manager) Session(id SessionID) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	return s, nil
+}
+
+// Sessions returns every session in a given state.
+func (m *Manager) Sessions(state SessionState) []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Session
+	for _, s := range m.sessions {
+		if s.State() == state {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ServerLoad is one row of ServerLoads.
+type ServerLoad struct {
+	ID            media.ServerID `json:"id"`
+	ActiveStreams int            `json:"activeStreams"`
+	Utilization   float64        `json:"utilization"`
+}
+
+// ServerLoads reports each registered media server's current load, sorted
+// by id; the ops view behind `qosctl servers`.
+func (m *Manager) ServerLoads() []ServerLoad {
+	m.mu.Lock()
+	entries := make([]serverEntry, 0, len(m.servers))
+	for _, e := range m.servers {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+	out := make([]ServerLoad, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, ServerLoad{
+			ID:            e.server.ID(),
+			ActiveStreams: e.server.ActiveStreams(),
+			Utilization:   e.server.Utilization(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Invoice itemizes the committed offer of a session: one line per
+// continuous monomedia with its negotiated rate and playout length, plus
+// the copyright fee — the statement behind the cost figure the information
+// window displays.
+func (m *Manager) Invoice(id SessionID) (cost.Invoice, error) {
+	s, err := m.Session(id)
+	if err != nil {
+		return cost.Invoice{}, err
+	}
+	doc, err := m.registry.Document(s.Document)
+	if err != nil {
+		return cost.Invoice{}, err
+	}
+	current := s.CurrentOffer()
+	var labels []string
+	var items []cost.Item
+	for _, ch := range current.Choices {
+		mono, ok := doc.Component(ch.Monomedia)
+		if !ok || !mono.Kind.Continuous() {
+			continue
+		}
+		labels = append(labels, string(ch.Monomedia))
+		items = append(items, cost.Item{
+			Rate:     ch.Variant.NetworkQoS().AvgBitRate,
+			Duration: mono.Duration,
+		})
+	}
+	guarantee := s.Profile.Desired.Cost.Guarantee
+	return m.pricing.Invoice(string(doc.ID), cost.Money(doc.CopyrightFee), guarantee, labels, items), nil
+}

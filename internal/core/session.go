@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"qosneg/internal/client"
+	"qosneg/internal/cmfs"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/offer"
+	"qosneg/internal/profile"
+	"qosneg/internal/transport"
+)
+
+// SessionID names one negotiated delivery session.
+type SessionID uint64
+
+// SessionState is the lifecycle of a session.
+type SessionState int
+
+// The session states. A session is created Reserved (resources committed,
+// awaiting the user's confirmation within choicePeriod); Confirm moves it
+// to Playing; it ends Completed, or Aborted (rejection, time-out, or an
+// adaptation failure).
+const (
+	Reserved SessionState = iota
+	Playing
+	Completed
+	Aborted
+)
+
+var sessionStateNames = [...]string{"reserved", "playing", "completed", "aborted"}
+
+// String returns the lower-case state name.
+func (s SessionState) String() string {
+	if s < 0 || int(s) >= len(sessionStateNames) {
+		return fmt.Sprintf("SessionState(%d)", int(s))
+	}
+	return sessionStateNames[s]
+}
+
+// commitment holds the resources reserved for one system offer: one CMFS
+// reservation and one transport connection per monomedia choice.
+type commitment struct {
+	servers []serverReservation
+	conns   []transport.Connection
+}
+
+type serverReservation struct {
+	server *cmfs.Server
+	res    cmfs.Reservation
+}
+
+// Session is the state the QoS manager keeps per negotiated delivery: the
+// committed offer, the full classified offer list (kept, per step 4, so
+// "the adaptation procedure makes use of the whole set of feasible system
+// offers"), and the playout position used by the transition procedure.
+type Session struct {
+	ID       SessionID
+	Machine  client.Machine
+	Document media.DocumentID
+	Profile  profile.UserProfile
+	// Current is the committed offer.
+	Current offer.Ranked
+	// Ranked is the full classified offer list from negotiation step 4.
+	Ranked []offer.Ranked
+	// ChoicePeriod is the confirmation window in force (step 6).
+	ChoicePeriod time.Duration
+
+	// mu guards the mutable fields below plus Current, Ranked, Profile
+	// and ChoicePeriod when they are rewritten by renegotiation or
+	// adaptation. Lock ordering: Manager.mu before Session.mu, never the
+	// reverse.
+	mu         sync.Mutex
+	state      SessionState
+	position   time.Duration
+	commit     commitment
+	transition int // number of adaptation transitions performed
+}
+
+// State returns the session's lifecycle state.
+func (s *Session) State() SessionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Position returns the current playout position.
+func (s *Session) Position() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.position
+}
+
+// Transitions returns how many adaptation transitions the session has
+// undergone.
+func (s *Session) Transitions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.transition
+}
+
+// Cost returns the price of the committed offer.
+func (s *Session) Cost() cost.Money {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Current.Total()
+}
+
+// UserOffer returns the user offer derived from the committed system offer.
+func (s *Session) UserOffer() profile.MMProfile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Current.UserOffer()
+}
+
+// CurrentOffer returns a copy of the committed offer under the session
+// lock; concurrent readers (monitors, UIs) should prefer it over the
+// exported Current field, which renegotiation and adaptation rewrite.
+func (s *Session) CurrentOffer() offer.Ranked {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Current
+}

@@ -1,0 +1,55 @@
+// Package core implements the QoS manager of Section 4: the component that
+// runs the negotiation procedure (static local negotiation, static
+// compatibility checking, computation of classification parameters,
+// classification of system offers, resource commitment, user confirmation)
+// and the automatic adaptation procedure that reacts to QoS degradations
+// during playout.
+package core
+
+import "fmt"
+
+// NegotiationStatus is the outcome of the negotiation procedure; the five
+// values of Section 4.
+type NegotiationStatus int
+
+// The negotiation statuses.
+const (
+	// Succeeded: the requested QoS and the maximum cost are satisfied; a
+	// user offer that does not violate the worst acceptable values is
+	// returned and resources are reserved.
+	Succeeded NegotiationStatus = iota
+	// FailedWithOffer: the negotiation failed, but a user offer that the
+	// system can support (while not satisfying the user requirements) is
+	// returned with resources reserved.
+	FailedWithOffer
+	// FailedTryLater: resources shortage; the user may try again later.
+	FailedTryLater
+	// FailedWithoutOffer: no possible instantiation of the functional
+	// configuration exists, e.g. no suitable decoder on the client.
+	FailedWithoutOffer
+	// FailedWithLocalOffer: the client machine itself cannot support the
+	// requested QoS, e.g. a color request on a black&white screen.
+	FailedWithLocalOffer
+)
+
+var negotiationStatusNames = [...]string{
+	"SUCCEEDED",
+	"FAILEDWITHOFFER",
+	"FAILEDTRYLATER",
+	"FAILEDWITHOUTOFFER",
+	"FAILEDWITHLOCALOFFER",
+}
+
+// String returns the paper's upper-case name for the status.
+func (s NegotiationStatus) String() string {
+	if s < 0 || int(s) >= len(negotiationStatusNames) {
+		return fmt.Sprintf("NegotiationStatus(%d)", int(s))
+	}
+	return negotiationStatusNames[s]
+}
+
+// Reserved reports whether the status leaves resources reserved pending the
+// user's confirmation (step 6).
+func (s NegotiationStatus) Reserved() bool {
+	return s == Succeeded || s == FailedWithOffer
+}

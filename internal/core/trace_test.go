@@ -1,0 +1,215 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qosneg/internal/client"
+	"qosneg/internal/cmfs"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/network"
+	"qosneg/internal/qos"
+	"qosneg/internal/registry"
+	"qosneg/internal/transport"
+)
+
+// tracedBed builds a bed whose manager records trace events.
+func tracedBed(t *testing.T, events *[]TraceEvent) *bed {
+	t.Helper()
+	net, err := network.BuildStar(network.StarSpec{
+		Clients: []network.NodeID{"client-1"},
+		Servers: []network.NodeID{"server-1", "server-2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	opts := DefaultOptions()
+	opts.Trace = func(e TraceEvent) { *events = append(*events, e) }
+	man := NewManager(reg, transport.New(net, 3), cost.DefaultPricing(), opts)
+	b := &bed{reg: reg, net: net, man: man, servers: map[media.ServerID]*cmfs.Server{}}
+	for _, id := range []media.ServerID{"server-1", "server-2"} {
+		s := cmfs.MustServer(id, cmfs.DefaultConfig())
+		b.servers[id] = s
+		man.AddServer(s, network.NodeID(id))
+	}
+	doc := media.BuildNewsArticle(media.NewsArticleSpec{
+		ID: "news-1", Title: "T", Duration: time.Minute,
+		Servers: []media.ServerID{"server-1", "server-2"},
+		VideoQualities: []qos.VideoQoS{
+			{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution},
+			{Color: qos.Grey, FrameRate: 15, Resolution: qos.TVResolution},
+		},
+		AudioQualities: []qos.AudioQoS{{Grade: qos.CDQuality}},
+	})
+	if err := reg.Add(doc); err != nil {
+		t.Fatal(err)
+	}
+	b.mach = client.Workstation("client-1", "client-1")
+	b.doc = doc
+	return b
+}
+
+func TestTraceSuccessfulNegotiation(t *testing.T) {
+	var events []TraceEvent
+	b := tracedBed(t, &events)
+	res, err := b.man.Negotiate(b.mach, "news-1", tvProfile())
+	if err != nil || !res.Status.Reserved() {
+		t.Fatalf("negotiate: %v %v", res.Status, err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("events = %+v", events)
+	}
+	first, last := events[0], events[len(events)-1]
+	if first.Step != "commit-attempt" {
+		t.Errorf("first event = %+v", first)
+	}
+	if last.Step != "committed" || last.Detail != "SUCCEEDED" {
+		t.Errorf("last event = %+v", last)
+	}
+	if last.Offer != res.Session.Current.Key() {
+		t.Errorf("committed offer %q vs session %q", last.Offer, res.Session.Current.Key())
+	}
+}
+
+func TestTraceExhaustion(t *testing.T) {
+	var events []TraceEvent
+	b := tracedBed(t, &events)
+	for _, srv := range b.servers {
+		srv.SetDegradation(0.999)
+	}
+	res, err := b.man.Negotiate(b.mach, "news-1", tvProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != FailedTryLater {
+		t.Fatalf("status = %v", res.Status)
+	}
+	attempts, failures, exhausted := 0, 0, 0
+	for _, e := range events {
+		switch e.Step {
+		case "commit-attempt":
+			attempts++
+		case "commit-failed":
+			failures++
+		case "exhausted":
+			exhausted++
+		}
+	}
+	if attempts == 0 || attempts != failures || exhausted != 1 {
+		t.Errorf("attempts=%d failures=%d exhausted=%d", attempts, failures, exhausted)
+	}
+}
+
+func TestTraceLocalFailure(t *testing.T) {
+	var events []TraceEvent
+	b := tracedBed(t, &events)
+	mach := b.mach
+	mach.Display.Color = qos.BlackWhite
+	if _, err := b.man.Negotiate(mach, "news-1", tvProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Step != "local-failed" {
+		t.Fatalf("events = %+v", events)
+	}
+	if !strings.Contains(events[0].Detail, "color") {
+		t.Errorf("detail = %q", events[0].Detail)
+	}
+}
+
+func TestRevenueAccumulatesOnCompletion(t *testing.T) {
+	b := defaultBed(t)
+	res, _ := b.man.Negotiate(b.mach, "news-1", tvProfile())
+	price := res.Session.Cost()
+	b.man.Confirm(res.Session.ID)
+	b.man.Complete(res.Session.ID)
+	if got := b.man.Stats().Revenue; got != price {
+		t.Errorf("revenue = %v, want %v", got, price)
+	}
+	// Rejected sessions earn nothing.
+	res2, _ := b.man.Negotiate(b.mach, "news-1", tvProfile())
+	b.man.Reject(res2.Session.ID)
+	if got := b.man.Stats().Revenue; got != price {
+		t.Errorf("revenue after reject = %v", got)
+	}
+	// Aborted sessions earn nothing either.
+	res3, _ := b.man.Negotiate(b.mach, "news-1", tvProfile())
+	b.man.Confirm(res3.Session.ID)
+	b.man.Abort(res3.Session.ID)
+	if got := b.man.Stats().Revenue; got != price {
+		t.Errorf("revenue after abort = %v", got)
+	}
+}
+
+func TestManagerInvoice(t *testing.T) {
+	b := defaultBed(t)
+	res, _ := b.man.Negotiate(b.mach, "news-1", tvProfile())
+	inv, err := b.man.Invoice(res.Session.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Total != res.Session.Cost() {
+		t.Errorf("invoice total %v vs session cost %v", inv.Total, res.Session.Cost())
+	}
+	if len(inv.Lines) != 2 {
+		t.Fatalf("lines = %+v", inv.Lines)
+	}
+	if inv.Lines[0].Label != "video" || inv.Lines[1].Label != "audio" {
+		t.Errorf("labels = %q, %q", inv.Lines[0].Label, inv.Lines[1].Label)
+	}
+	if !strings.Contains(inv.String(), "news-1") {
+		t.Error("document missing from rendering")
+	}
+	if _, err := b.man.Invoice(999); err == nil {
+		t.Error("unknown session invoiced")
+	}
+}
+
+func TestConcurrentManagerStress(t *testing.T) {
+	b := defaultBed(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				res, err := b.man.Negotiate(b.mach, "news-1", tvProfile())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Session == nil {
+					continue
+				}
+				id := res.Session.ID
+				switch (g + i) % 4 {
+				case 0:
+					b.man.Reject(id)
+				case 1:
+					b.man.Confirm(id)
+					b.man.Advance(id, time.Second)
+					b.man.Complete(id)
+				case 2:
+					b.man.Renegotiate(id, tvProfile())
+					b.man.Abort(id)
+				default:
+					b.man.Confirm(id)
+					b.man.Adapt(id) // healthy system: usually succeeds or errs cleanly
+					b.man.Abort(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := b.net.ActiveReservations(); got != 0 {
+		t.Errorf("leaked %d network reservations", got)
+	}
+	for id, srv := range b.servers {
+		if srv.ActiveStreams() != 0 {
+			t.Errorf("server %s leaked %d streams", id, srv.ActiveStreams())
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package cost implements the cost computation of Section 7. The cost a
+// user is charged for a document is the sum of the server cost, the network
+// cost and document-related cost (copyright):
+//
+//	CostDoc = CostCop + Σᵢ (CostNetᵢ + CostSerᵢ)
+//
+// Per-monomedia network and server costs come from cost tables that map a
+// throughput class to a price per time unit: if monomedia Mᵢ has length Dᵢ
+// and its throughput falls into class Cᵢ' with network price CostNetᵢ' then
+// CostNetᵢ = CostNetᵢ' × Dᵢ (and likewise for the server table).
+//
+// Money is held in integer milli-dollars so that every figure in the paper's
+// examples (2.5$, 4$, ...) is exact.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+// Money is an amount in milli-dollars (1/1000 $). The paper quotes prices in
+// dollars with at most one decimal; milli-dollar resolution keeps every
+// arithmetic step exact.
+type Money int64
+
+// Dollars constructs an exact Money amount from whole dollars.
+func Dollars(d int64) Money { return Money(d * 1000) }
+
+// Cents constructs an exact Money amount from cents.
+func Cents(c int64) Money { return Money(c * 10) }
+
+// DollarsFloat converts a fractional dollar amount, rounding to the nearest
+// milli-dollar. Prefer Dollars/Cents where exactness matters.
+func DollarsFloat(d float64) Money {
+	if d >= 0 {
+		return Money(d*1000 + 0.5)
+	}
+	return Money(d*1000 - 0.5)
+}
+
+// Float returns the amount in dollars as a float64 (for importance-factor
+// arithmetic, Section 5.2.2(b)).
+func (m Money) Float() float64 { return float64(m) / 1000 }
+
+// String renders the amount in the paper's style, e.g. "2.5$".
+func (m Money) String() string {
+	d := m.Float()
+	if d == float64(int64(d)) {
+		return fmt.Sprintf("%d$", int64(d))
+	}
+	return fmt.Sprintf("%g$", d)
+}
+
+// Class is one throughput class of a cost table: every throughput of at
+// least MinRate (and below the next class's MinRate) is charged Price per
+// second of playout.
+type Class struct {
+	MinRate qos.BitRate `json:"minRate"`
+	// Price per second of delivery at this class, in milli-dollars.
+	Price Money `json:"pricePerSecond"`
+}
+
+// Table maps throughput classes to a per-second price (Section 7: "we assume
+// the existence of a cost table which stores the cost (per time unit) for
+// each value of throughput. Since it is not possible to consider all
+// possible values of throughput (infinite list), only a range of throughput
+// classes are considered.").
+type Table struct {
+	classes []Class // sorted by MinRate ascending; classes[0].MinRate == 0
+}
+
+// NewTable builds a table from the given classes. Classes are sorted by
+// MinRate; the table is extended with a free zero-rate class if none covers
+// rate 0 so that discrete media (zero throughput) always classify.
+func NewTable(classes ...Class) (*Table, error) {
+	cs := make([]Class, len(classes))
+	copy(cs, classes)
+	sort.Slice(cs, func(i, j int) bool { return cs[i].MinRate < cs[j].MinRate })
+	for i := 1; i < len(cs); i++ {
+		if cs[i].MinRate == cs[i-1].MinRate {
+			return nil, fmt.Errorf("cost table: duplicate class boundary %v", cs[i].MinRate)
+		}
+	}
+	for _, c := range cs {
+		if c.MinRate < 0 {
+			return nil, fmt.Errorf("cost table: negative class boundary %v", c.MinRate)
+		}
+		if c.Price < 0 {
+			return nil, fmt.Errorf("cost table: negative price %v", c.Price)
+		}
+	}
+	if len(cs) == 0 || cs[0].MinRate != 0 {
+		cs = append([]Class{{MinRate: 0, Price: 0}}, cs...)
+	}
+	return &Table{classes: cs}, nil
+}
+
+// MustTable is NewTable that panics on error; for fixtures and tests.
+func MustTable(classes ...Class) *Table {
+	t, err := NewTable(classes...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Classes returns a copy of the table's classes, sorted by MinRate.
+func (t *Table) Classes() []Class {
+	out := make([]Class, len(t.classes))
+	copy(out, t.classes)
+	return out
+}
+
+// Classify returns the index of the throughput class rate falls into.
+func (t *Table) Classify(rate qos.BitRate) int {
+	// Largest class whose MinRate <= rate.
+	i := sort.Search(len(t.classes), func(i int) bool { return t.classes[i].MinRate > rate })
+	return i - 1
+}
+
+// PricePerSecond returns the per-second price of the class rate falls into.
+func (t *Table) PricePerSecond(rate qos.BitRate) Money {
+	return t.classes[t.Classify(rate)].Price
+}
+
+// Cost charges the class price of rate for the full duration:
+// CostNetᵢ = CostNetᵢ' × Dᵢ. Sub-second durations are charged
+// proportionally, rounded to the nearest milli-dollar.
+func (t *Table) Cost(rate qos.BitRate, duration time.Duration) Money {
+	if duration <= 0 {
+		return 0
+	}
+	price := t.PricePerSecond(rate)
+	return Money((int64(price)*int64(duration) + int64(time.Second)/2) / int64(time.Second))
+}
+
+// Item is the billing input for one monomedia of a document: the negotiated
+// average bit rate (the classification key used by the prototype) and the
+// playout length Dᵢ.
+type Item struct {
+	Rate     qos.BitRate
+	Duration time.Duration
+}
+
+// Breakdown itemizes a document's cost as returned by Document.
+type Breakdown struct {
+	Copyright Money   `json:"copyright"`
+	Network   []Money `json:"network"` // per item
+	Server    []Money `json:"server"`  // per item
+	Total     Money   `json:"total"`
+}
+
+// Pricing couples the network and server cost tables and the guarantee type
+// in force. Guaranteed service is charged a multiplier over best effort.
+type Pricing struct {
+	Network *Table
+	Server  *Table
+	// GuaranteedMarkupPercent is added on top of the tabled prices when
+	// the reservation asks for guaranteed (rather than best-effort)
+	// service; Section 7 lists the type of guarantees among the cost
+	// factors. 0 means guaranteed service costs the same as best effort.
+	GuaranteedMarkupPercent int
+}
+
+// Guarantee selects the service guarantee the user requested.
+type Guarantee int
+
+// The guarantee types of Section 7.
+const (
+	BestEffort Guarantee = iota
+	Guaranteed
+)
+
+// String names the guarantee type.
+func (g Guarantee) String() string {
+	if g == Guaranteed {
+		return "guaranteed"
+	}
+	return "best-effort"
+}
+
+// Document computes the Section 7 formula for a document with the given
+// copyright fee and per-monomedia billing items.
+func (p Pricing) Document(copyright Money, g Guarantee, items []Item) Breakdown {
+	b := Breakdown{Copyright: copyright, Total: copyright}
+	for _, it := range items {
+		net := p.Network.Cost(it.Rate, it.Duration)
+		ser := p.Server.Cost(it.Rate, it.Duration)
+		if g == Guaranteed && p.GuaranteedMarkupPercent > 0 {
+			net += net * Money(p.GuaranteedMarkupPercent) / 100
+			ser += ser * Money(p.GuaranteedMarkupPercent) / 100
+		}
+		b.Network = append(b.Network, net)
+		b.Server = append(b.Server, ser)
+		b.Total += net + ser
+	}
+	return b
+}
+
+// DefaultPricing returns the cost tables used by the reproduction's
+// examples and experiments: five network classes and four server classes
+// spanning telephone-audio to HDTV-video rates. The absolute prices are
+// arbitrary (the paper publishes no tariff) but the structure — prices
+// increasing with the throughput class — is the paper's.
+func DefaultPricing() Pricing {
+	return Pricing{
+		Network: MustTable(
+			Class{MinRate: 0, Price: 0},
+			Class{MinRate: 64 * qos.KBitPerSecond, Price: 2},    // 0.002 $/s
+			Class{MinRate: 500 * qos.KBitPerSecond, Price: 8},   // 0.008 $/s
+			Class{MinRate: 1500 * qos.KBitPerSecond, Price: 15}, // 0.015 $/s
+			Class{MinRate: 4 * qos.MBitPerSecond, Price: 30},    // 0.030 $/s
+			Class{MinRate: 10 * qos.MBitPerSecond, Price: 60},   // 0.060 $/s
+		),
+		Server: MustTable(
+			Class{MinRate: 0, Price: 0},
+			Class{MinRate: 64 * qos.KBitPerSecond, Price: 1},
+			Class{MinRate: 1500 * qos.KBitPerSecond, Price: 5},
+			Class{MinRate: 4 * qos.MBitPerSecond, Price: 10},
+			Class{MinRate: 10 * qos.MBitPerSecond, Price: 20},
+		),
+		GuaranteedMarkupPercent: 25,
+	}
+}

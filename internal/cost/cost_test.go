@@ -1,0 +1,273 @@
+package cost
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+func TestMoneyConstructorsAndString(t *testing.T) {
+	if Dollars(4) != 4000 {
+		t.Errorf("Dollars(4) = %d", Dollars(4))
+	}
+	if Cents(250) != 2500 {
+		t.Errorf("Cents(250) = %d", Cents(250))
+	}
+	if DollarsFloat(2.5) != 2500 {
+		t.Errorf("DollarsFloat(2.5) = %d", DollarsFloat(2.5))
+	}
+	if DollarsFloat(-2.5) != -2500 {
+		t.Errorf("DollarsFloat(-2.5) = %d", DollarsFloat(-2.5))
+	}
+	cases := map[Money]string{
+		Dollars(4):        "4$",
+		Cents(250):        "2.5$",
+		Dollars(0):        "0$",
+		DollarsFloat(3.2): "3.2$",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(m), got, want)
+		}
+	}
+	if Cents(250).Float() != 2.5 {
+		t.Errorf("Float() = %g", Cents(250).Float())
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(Class{MinRate: 100, Price: 1}, Class{MinRate: 100, Price: 2}); err == nil {
+		t.Error("duplicate boundary accepted")
+	}
+	if _, err := NewTable(Class{MinRate: -1, Price: 1}); err == nil {
+		t.Error("negative boundary accepted")
+	}
+	if _, err := NewTable(Class{MinRate: 0, Price: -1}); err == nil {
+		t.Error("negative price accepted")
+	}
+	// Empty table still classifies everything at price 0.
+	tab, err := NewTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.PricePerSecond(qos.MBitPerSecond) != 0 {
+		t.Error("empty table should be free")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	tab := MustTable(
+		Class{MinRate: 0, Price: 0},
+		Class{MinRate: 1000, Price: 1},
+		Class{MinRate: 2000, Price: 5},
+	)
+	cases := []struct {
+		rate qos.BitRate
+		idx  int
+	}{
+		{0, 0}, {999, 0}, {1000, 1}, {1999, 1}, {2000, 2}, {1 << 40, 2},
+	}
+	for _, c := range cases {
+		if got := tab.Classify(c.rate); got != c.idx {
+			t.Errorf("Classify(%d) = %d, want %d", c.rate, got, c.idx)
+		}
+	}
+	if n := len(tab.Classes()); n != 3 {
+		t.Errorf("Classes() = %d entries", n)
+	}
+}
+
+func TestTableCost(t *testing.T) {
+	tab := MustTable(Class{MinRate: 1000, Price: 10}) // 0.01$/s above 1 kbit/s
+	if got := tab.Cost(2000, time.Minute); got != 600 {
+		t.Errorf("Cost = %d, want 600 (0.6$)", got)
+	}
+	if got := tab.Cost(500, time.Minute); got != 0 {
+		t.Errorf("below first class should be free, got %d", got)
+	}
+	if got := tab.Cost(2000, 0); got != 0 {
+		t.Errorf("zero duration should be free, got %d", got)
+	}
+	if got := tab.Cost(2000, -time.Second); got != 0 {
+		t.Errorf("negative duration should be free, got %d", got)
+	}
+	// Sub-second rounding: 10 m$/s for 500 ms rounds to 5 m$.
+	if got := tab.Cost(2000, 500*time.Millisecond); got != 5 {
+		t.Errorf("sub-second cost = %d, want 5", got)
+	}
+}
+
+func TestDocumentFormula(t *testing.T) {
+	// Two monomedia, three-class tables; hand-checkable numbers:
+	// video at 2 Mbit/s for 120 s: net 15 m$/s → 1.8$, server 5 m$/s → 0.6$
+	// audio at 700 kbit/s for 120 s: net 8 m$/s → 0.96$, server 1 m$/s → 0.12$
+	// copyright 0.5$ → total 0.5+1.8+0.6+0.96+0.12 = 3.98$
+	p := DefaultPricing()
+	items := []Item{
+		{Rate: 2 * qos.MBitPerSecond, Duration: 2 * time.Minute},
+		{Rate: 700 * qos.KBitPerSecond, Duration: 2 * time.Minute},
+	}
+	b := p.Document(Cents(50), BestEffort, items)
+	if b.Copyright != 500 {
+		t.Errorf("copyright = %v", b.Copyright)
+	}
+	if b.Network[0] != 1800 || b.Server[0] != 600 {
+		t.Errorf("video costs = %v/%v", b.Network[0], b.Server[0])
+	}
+	if b.Network[1] != 960 || b.Server[1] != 120 {
+		t.Errorf("audio costs = %v/%v", b.Network[1], b.Server[1])
+	}
+	if b.Total != 3980 {
+		t.Errorf("total = %v, want 3.98$", b.Total)
+	}
+}
+
+func TestGuaranteedMarkup(t *testing.T) {
+	p := DefaultPricing()
+	items := []Item{{Rate: 2 * qos.MBitPerSecond, Duration: time.Minute}}
+	be := p.Document(0, BestEffort, items)
+	gu := p.Document(0, Guaranteed, items)
+	if gu.Total != be.Total+be.Total*25/100 {
+		t.Errorf("guaranteed %v vs best effort %v with 25%% markup", gu.Total, be.Total)
+	}
+	if BestEffort.String() != "best-effort" || Guaranteed.String() != "guaranteed" {
+		t.Error("guarantee names")
+	}
+	p.GuaranteedMarkupPercent = 0
+	if p.Document(0, Guaranteed, items).Total != be.Total {
+		t.Error("zero markup must charge best-effort price")
+	}
+}
+
+func TestDocumentEmptyItems(t *testing.T) {
+	p := DefaultPricing()
+	b := p.Document(Dollars(1), BestEffort, nil)
+	if b.Total != Dollars(1) || len(b.Network) != 0 {
+		t.Errorf("empty document breakdown: %+v", b)
+	}
+}
+
+// Property: cost is monotone in rate and linear-ish in duration (exact
+// linearity for whole-second durations).
+func TestCostProperties(t *testing.T) {
+	p := DefaultPricing()
+	mono := func(r1, r2 uint32, secs uint8) bool {
+		d := time.Duration(secs) * time.Second
+		a, b := qos.BitRate(r1), qos.BitRate(r2)
+		if a > b {
+			a, b = b, a
+		}
+		return p.Network.Cost(a, d) <= p.Network.Cost(b, d)
+	}
+	if err := quick.Check(mono, nil); err != nil {
+		t.Errorf("monotonicity: %v", err)
+	}
+	linear := func(r uint32, secs uint8) bool {
+		d := time.Duration(secs) * time.Second
+		c1 := p.Network.Cost(qos.BitRate(r), d)
+		c2 := p.Network.Cost(qos.BitRate(r), 2*d)
+		return c2 == 2*c1
+	}
+	if err := quick.Check(linear, nil); err != nil {
+		t.Errorf("duration linearity: %v", err)
+	}
+}
+
+// Property: total always equals copyright plus the itemized parts.
+func TestBreakdownConsistency(t *testing.T) {
+	p := DefaultPricing()
+	f := func(cop uint16, rates []uint32, secs uint8) bool {
+		if len(rates) > 8 {
+			rates = rates[:8]
+		}
+		var items []Item
+		for _, r := range rates {
+			items = append(items, Item{Rate: qos.BitRate(r), Duration: time.Duration(secs) * time.Second})
+		}
+		b := p.Document(Money(cop), BestEffort, items)
+		sum := b.Copyright
+		for i := range b.Network {
+			sum += b.Network[i] + b.Server[i]
+		}
+		return sum == b.Total && len(b.Network) == len(items)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvoiceRendering(t *testing.T) {
+	p := DefaultPricing()
+	inv := p.Invoice("news-1", Cents(50), BestEffort,
+		[]string{"video", "audio"},
+		[]Item{
+			{Rate: 2 * qos.MBitPerSecond, Duration: 2 * time.Minute},
+			{Rate: 1411 * qos.KBitPerSecond, Duration: 2 * time.Minute},
+		})
+	if inv.Total != 3980 {
+		t.Errorf("total = %v", inv.Total)
+	}
+	if len(inv.Lines) != 2 || inv.Lines[0].Label != "video" {
+		t.Errorf("lines = %+v", inv.Lines)
+	}
+	out := inv.String()
+	for _, want := range []string{"news-1", "best-effort", "video", "audio", "copyright", "TOTAL", "3.98$"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("invoice missing %q:\n%s", want, out)
+		}
+	}
+	// Missing labels fall back to item numbers.
+	inv = p.Invoice("d", 0, Guaranteed, nil, []Item{{Rate: 1000, Duration: time.Second}})
+	if inv.Lines[0].Label != "item 1" {
+		t.Errorf("fallback label = %q", inv.Lines[0].Label)
+	}
+	if !strings.Contains(inv.String(), "guaranteed") {
+		t.Error("guarantee missing")
+	}
+}
+
+func TestPricingPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tariff.json")
+	p := DefaultPricing()
+	if err := p.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadPricing(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GuaranteedMarkupPercent != p.GuaranteedMarkupPercent {
+		t.Errorf("markup = %d", got.GuaranteedMarkupPercent)
+	}
+	// The loaded tariff prices identically.
+	items := []Item{
+		{Rate: 2 * qos.MBitPerSecond, Duration: 2 * time.Minute},
+		{Rate: 700 * qos.KBitPerSecond, Duration: time.Minute},
+	}
+	for _, g := range []Guarantee{BestEffort, Guaranteed} {
+		a := p.Document(Cents(50), g, items)
+		b := got.Document(Cents(50), g, items)
+		if a.Total != b.Total {
+			t.Errorf("%v: %v vs %v", g, a.Total, b.Total)
+		}
+	}
+	// Corrupt and incomplete files are rejected.
+	if _, err := LoadPricing(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte(`{"network": null}`), 0o644)
+	if _, err := LoadPricing(bad); err == nil {
+		t.Error("incomplete tariff accepted")
+	}
+	dup := filepath.Join(t.TempDir(), "dup.json")
+	os.WriteFile(dup, []byte(`{"network":[{"minRate":5,"pricePerSecond":1},{"minRate":5,"pricePerSecond":2}],"server":[]}`), 0o644)
+	if _, err := LoadPricing(dup); err == nil {
+		t.Error("duplicate class boundary accepted")
+	}
+}

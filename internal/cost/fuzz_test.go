@@ -1,0 +1,43 @@
+package cost
+
+import (
+	"testing"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+// FuzzTableClassify checks that classification always lands in a valid
+// class whose boundary is at most the rate, and that pricing is monotone at
+// the classified boundary.
+func FuzzTableClassify(f *testing.F) {
+	f.Add(int64(0))
+	f.Add(int64(63_999))
+	f.Add(int64(64_000))
+	f.Add(int64(10_000_000))
+	f.Add(int64(1) << 50)
+	f.Fuzz(func(t *testing.T, rate int64) {
+		if rate < 0 {
+			rate = -rate
+		}
+		p := DefaultPricing()
+		idx := p.Network.Classify(qos.BitRate(rate))
+		classes := p.Network.Classes()
+		if idx < 0 || idx >= len(classes) {
+			t.Fatalf("Classify(%d) = %d out of range", rate, idx)
+		}
+		if classes[idx].MinRate > qos.BitRate(rate) {
+			t.Fatalf("class boundary %v above rate %d", classes[idx].MinRate, rate)
+		}
+		if idx+1 < len(classes) && classes[idx+1].MinRate <= qos.BitRate(rate) {
+			t.Fatalf("rate %d should classify higher than %d", rate, idx)
+		}
+		// Cost never negative, zero duration free.
+		if c := p.Network.Cost(qos.BitRate(rate), time.Minute); c < 0 {
+			t.Fatalf("negative cost %v", c)
+		}
+		if c := p.Network.Cost(qos.BitRate(rate), 0); c != 0 {
+			t.Fatalf("zero duration cost %v", c)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+// InvoiceLine is one itemized row of an invoice.
+type InvoiceLine struct {
+	Label    string
+	Rate     qos.BitRate
+	Duration time.Duration
+	Network  Money
+	Server   Money
+}
+
+// Invoice is an itemized bill for one delivered document: what the user
+// confirmation window and the provider's books both need. Build one with
+// Pricing.Invoice.
+type Invoice struct {
+	Document  string
+	Guarantee Guarantee
+	Copyright Money
+	Lines     []InvoiceLine
+	Total     Money
+}
+
+// Invoice itemizes a document's cost: like Document, but retaining labels
+// and per-line inputs for rendering.
+func (p Pricing) Invoice(document string, copyright Money, g Guarantee, labels []string, items []Item) Invoice {
+	b := p.Document(copyright, g, items)
+	inv := Invoice{Document: document, Guarantee: g, Copyright: b.Copyright, Total: b.Total}
+	for i, it := range items {
+		label := fmt.Sprintf("item %d", i+1)
+		if i < len(labels) {
+			label = labels[i]
+		}
+		inv.Lines = append(inv.Lines, InvoiceLine{
+			Label:    label,
+			Rate:     it.Rate,
+			Duration: it.Duration,
+			Network:  b.Network[i],
+			Server:   b.Server[i],
+		})
+	}
+	return inv
+}
+
+// String renders the invoice as a fixed-width statement.
+func (inv Invoice) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Invoice — %s (%s service)\n", inv.Document, inv.Guarantee)
+	fmt.Fprintf(&b, "  %-12s %12s %10s %10s %10s\n", "item", "rate", "duration", "network", "server")
+	for _, l := range inv.Lines {
+		fmt.Fprintf(&b, "  %-12s %12s %10s %10s %10s\n",
+			l.Label, l.Rate.String(), l.Duration, l.Network, l.Server)
+	}
+	fmt.Fprintf(&b, "  %-12s %45s\n", "copyright", inv.Copyright)
+	fmt.Fprintf(&b, "  %-12s %45s\n", "TOTAL", inv.Total)
+	return b.String()
+}

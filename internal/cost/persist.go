@@ -1,0 +1,72 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"qosneg/internal/fsutil"
+)
+
+// MarshalJSON encodes the table as its class list.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.classes)
+}
+
+// UnmarshalJSON decodes and validates a class list.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var classes []Class
+	if err := json.Unmarshal(data, &classes); err != nil {
+		return err
+	}
+	nt, err := NewTable(classes...)
+	if err != nil {
+		return err
+	}
+	*t = *nt
+	return nil
+}
+
+// pricingFile is the serialized tariff.
+type pricingFile struct {
+	Network                 *Table `json:"network"`
+	Server                  *Table `json:"server"`
+	GuaranteedMarkupPercent int    `json:"guaranteedMarkupPercent"`
+}
+
+// SaveFile writes the tariff (both cost tables and the guarantee markup) to
+// path as JSON, so operators can version their price lists.
+func (p Pricing) SaveFile(path string) error {
+	data, err := json.MarshalIndent(pricingFile{
+		Network:                 p.Network,
+		Server:                  p.Server,
+		GuaranteedMarkupPercent: p.GuaranteedMarkupPercent,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsutil.WriteFileAtomic(path, data, 0o644)
+}
+
+// LoadPricing reads a tariff written by SaveFile.
+func LoadPricing(path string) (Pricing, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Pricing{}, err
+	}
+	var f pricingFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Pricing{}, fmt.Errorf("pricing %s: %w", path, err)
+	}
+	if f.Network == nil || f.Server == nil {
+		return Pricing{}, fmt.Errorf("pricing %s: missing network or server table", path)
+	}
+	if f.GuaranteedMarkupPercent < 0 {
+		return Pricing{}, fmt.Errorf("pricing %s: negative guarantee markup", path)
+	}
+	return Pricing{
+		Network:                 f.Network,
+		Server:                  f.Server,
+		GuaranteedMarkupPercent: f.GuaranteedMarkupPercent,
+	}, nil
+}

@@ -1,0 +1,104 @@
+// Package experiments regenerates every evaluation artefact of the paper —
+// its worked numerical examples (Sections 5–7), one scenario per
+// negotiation status (Section 4), the adaptation walk-through, and the
+// synthetic studies that quantify the paper's qualitative claims (smart
+// negotiation increases availability; cost constraints limit greediness).
+// EXPERIMENTS.md records the paper-vs-measured comparison for each.
+//
+// Run an experiment with `go run ./cmd/nodsim -exp E3` or all of them with
+// `-exp all`.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Experiment is one reproducible evaluation artefact.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper cites the paper section/figure the artefact comes from.
+	Paper string
+	// Run writes the regenerated rows to w.
+	Run func(w io.Writer) error
+}
+
+var registryTable = map[string]Experiment{}
+
+func register(e Experiment) {
+	registryTable[e.ID] = e
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, bool) {
+	e, ok := registryTable[id]
+	return e, ok
+}
+
+// All returns every experiment sorted by id.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registryTable))
+	for _, e := range registryTable {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i].ID, out[j].ID) })
+	return out
+}
+
+// less orders experiment ids naturally: E1 < E2 < ... < E10 < E11, F1 < F2.
+func less(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitID(id string) (string, int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	n := 0
+	for _, c := range id[i:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return id[:i], n
+}
+
+// Run executes one experiment (or every experiment for id "all"), writing a
+// titled report to w.
+func Run(id string, w io.Writer) error {
+	if strings.EqualFold(id, "all") {
+		for _, e := range All() {
+			if err := runOne(e, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, ok := Lookup(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (try `-exp all`)", id)
+	}
+	return runOne(e, w)
+}
+
+func runOne(e Experiment, w io.Writer) error {
+	fmt.Fprintf(w, "=== %s: %s (%s) ===\n", e.ID, e.Title, e.Paper)
+	if err := e.Run(w); err != nil {
+		return fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,411 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func runToString(t *testing.T, id string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(id, &buf); err != nil {
+		t.Fatalf("Run(%s): %v\n%s", id, err, buf.String())
+	}
+	return buf.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "F1", "F2"}
+	all := All()
+	if len(all) != len(want) {
+		ids := make([]string, len(all))
+		for i, e := range all {
+			ids[i] = e.ID
+		}
+		t.Fatalf("registered %v, want %v", ids, want)
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("All()[%d] = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("ghost experiment found")
+	}
+	var buf bytes.Buffer
+	if err := Run("E99", &buf); err == nil {
+		t.Error("Run(E99) succeeded")
+	}
+}
+
+// TestE2ReproducesPaperSNS checks the regenerated Section 5.2.1 rows.
+func TestE2ReproducesPaperSNS(t *testing.T) {
+	out := runToString(t, "E2")
+	for _, want := range []string{
+		"offer1", "offer4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E2 missing %q:\n%s", want, out)
+		}
+	}
+	// offer4's row ends ACCEPTABLE; the others CONSTRAINT.
+	lines := strings.Split(out, "\n")
+	counts := map[string]int{}
+	for _, l := range lines {
+		if strings.Contains(l, "→ CONSTRAINT") {
+			counts["constraint"]++
+		}
+		if strings.Contains(l, "→ ACCEPTABLE") {
+			counts["acceptable"]++
+		}
+	}
+	if counts["constraint"] != 3 || counts["acceptable"] != 1 {
+		t.Errorf("SNS rows = %v\n%s", counts, out)
+	}
+}
+
+// TestE3ReproducesPaperOIF checks the exact OIF values and orderings.
+func TestE3ReproducesPaperOIF(t *testing.T) {
+	out := runToString(t, "E3")
+	for _, want := range []string{
+		"OIF=10", "OIF=12", "OIF=7", // setting (1)
+		"OIF=20", "OIF=23", "OIF=24", "OIF=27", // setting (2)
+		"OIF=-10", "OIF=-12", "OIF=-16", "OIF=-20", // setting (3)
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E3 missing %q:\n%s", want, out)
+		}
+	}
+	// Setting (3)'s OIF-only order is offer1, offer3, offer2, offer4.
+	i1 := strings.Index(out, "1. offer1 OIF=-10")
+	if i1 < 0 {
+		// allow for column padding
+		i1 = strings.Index(out, "1. offer1")
+	}
+	if i1 < 0 {
+		t.Errorf("setting (3) order missing:\n%s", out)
+	}
+}
+
+func TestE1SelectsFullQualityOffer(t *testing.T) {
+	out := runToString(t, "E1")
+	// The best offer (rank 1) is the DESIRABLE full-quality 6$ one.
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "1. ") {
+			if !strings.Contains(l, "DESIRABLE") || !strings.Contains(l, "6$") {
+				t.Errorf("rank 1 line: %s", l)
+			}
+			return
+		}
+	}
+	t.Errorf("no rank-1 line:\n%s", out)
+}
+
+func TestE4MappingNumbers(t *testing.T) {
+	out := runToString(t, "E4")
+	for _, want := range []string{"2.4 Mbit/s", "1.2 Mbit/s", "10ms", "0.003", "1.41 Mbit/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE5CostFormula(t *testing.T) {
+	out := runToString(t, "E5")
+	// 0.5$ copyright + video (1.8+0.6) + CD audio at 1.411 Mbit/s
+	// (net 0.96$, server 0.12$) = 3.98$... audio at 1411 kbit/s falls in
+	// the 500k..1500k net class (8 m$/s → 0.96$) and 64k..1500k server
+	// class (1 m$/s → 0.12$).
+	if !strings.Contains(out, "CostDoc") {
+		t.Errorf("E5 missing formula:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5$") {
+		t.Errorf("E5 missing copyright:\n%s", out)
+	}
+	if !strings.Contains(out, "guaranteed") {
+		t.Errorf("E5 missing guarantee markup:\n%s", out)
+	}
+}
+
+func TestE6AllStatusesAppear(t *testing.T) {
+	out := runToString(t, "E6")
+	for _, want := range []string{
+		"SUCCEEDED", "FAILEDWITHOFFER", "FAILEDTRYLATER", "FAILEDWITHOUTOFFER", "FAILEDWITHLOCALOFFER",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E6 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE7AdaptationTimeline(t *testing.T) {
+	out := runToString(t, "E7")
+	for _, want := range []string{"CONGESTION", "adaptation: switched", "completed", "position preserved"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE8SmartBeatsBasic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load study")
+	}
+	out := runToString(t, "E8")
+	if !strings.Contains(out, "accept") {
+		t.Fatalf("E8 output:\n%s", out)
+	}
+	// Parse the heaviest-load row: smart acceptance must be at least
+	// basic acceptance on every row (smart degrades instead of blocking).
+	lines := strings.Split(out, "\n")
+	rows := 0
+	for _, l := range lines {
+		if !strings.Contains(l, "accept ") {
+			continue
+		}
+		rows++
+		var mean string
+		var smartAcc, full, degr, basicAcc float64
+		_, err := fmtSscanf(l, &mean, &smartAcc, &full, &degr, &basicAcc)
+		if err != nil {
+			t.Fatalf("row %q: %v", l, err)
+		}
+		if smartAcc < basicAcc-0.001 {
+			t.Errorf("smart (%.1f%%) below basic (%.1f%%) at %s", smartAcc, basicAcc, mean)
+		}
+	}
+	if rows != 4 {
+		t.Errorf("parsed %d rows:\n%s", rows, out)
+	}
+}
+
+// fmtSscanf parses an E8 row like
+// "10s  accept  95.0%  full  80.0%  degraded  15.0%   60.0%".
+func fmtSscanf(l string, mean *string, smartAcc, full, degr, basicAcc *float64) (int, error) {
+	fields := strings.Fields(l)
+	if len(fields) < 8 {
+		return 0, fmt.Errorf("short row: %q", l)
+	}
+	*mean = fields[0]
+	parse := func(s string) (float64, error) {
+		return strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	}
+	var err error
+	if *smartAcc, err = parse(fields[2]); err != nil {
+		return 0, err
+	}
+	if *full, err = parse(fields[4]); err != nil {
+		return 0, err
+	}
+	if *degr, err = parse(fields[6]); err != nil {
+		return 0, err
+	}
+	if *basicAcc, err = parse(fields[7]); err != nil {
+		return 0, err
+	}
+	return 5, nil
+}
+
+func parseFloat(s string) (float64, error) { return strconv.ParseFloat(s, 64) }
+
+func TestE9Scales(t *testing.T) {
+	out := runToString(t, "E9")
+	if !strings.Contains(out, "4096") && !strings.Contains(out, "512") {
+		t.Errorf("E9 missing large products:\n%s", out)
+	}
+}
+
+func TestE10ChoicePeriod(t *testing.T) {
+	out := runToString(t, "E10")
+	if !strings.Contains(out, "state playing") || !strings.Contains(out, "state aborted") {
+		t.Errorf("E10 output:\n%s", out)
+	}
+}
+
+func TestE11AtomicBeatsGreedy(t *testing.T) {
+	out := runToString(t, "E11")
+	if !strings.Contains(out, "atomic document-level") || !strings.Contains(out, "greedy per-monomedia") {
+		t.Errorf("E11 output:\n%s", out)
+	}
+	// runE11 itself errors if atomic does not beat greedy; reaching here
+	// means the claim held.
+}
+
+func TestE12CostCapAdmitsMore(t *testing.T) {
+	out := runToString(t, "E12")
+	lines := strings.Split(out, "\n")
+	var noCap, cap float64
+	for _, l := range lines {
+		f := strings.Fields(l)
+		if strings.HasPrefix(l, "no cost constraint") {
+			noCap, _ = parseFloat(f[4])
+		}
+		if strings.HasPrefix(l, "4$ budget") {
+			cap, _ = parseFloat(f[3])
+		}
+	}
+	if cap <= noCap {
+		t.Errorf("budgeted users admitted %v ≤ greedy %v:\n%s", cap, noCap, out)
+	}
+}
+
+func TestE13ClassifierAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load study")
+	}
+	out := runToString(t, "E13")
+	rows := map[string][]string{}
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) > 0 {
+			switch f[0] {
+			case "sns-primary", "oif-only", "cost-only", "qos-only":
+				rows[f[0]] = f
+			}
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v\n%s", rows, out)
+	}
+	pct := func(name string, col int) float64 {
+		v, err := parseFloat(strings.TrimSuffix(rows[name][col], "%"))
+		if err != nil {
+			t.Fatalf("%s col %d: %v", name, col, err)
+		}
+		return v
+	}
+	// cost-only accepts the most; qos-only the least; sns-primary sits
+	// between with the highest (or tied-highest) satisfaction.
+	if !(pct("cost-only", 1) >= pct("sns-primary", 1) && pct("sns-primary", 1) > pct("qos-only", 1)) {
+		t.Errorf("acceptance ordering violated:\n%s", out)
+	}
+	if pct("sns-primary", 3) <= pct("cost-only", 3) {
+		t.Errorf("sns-primary satisfaction should beat cost-only:\n%s", out)
+	}
+}
+
+func TestE14FutureReservations(t *testing.T) {
+	out := runToString(t, "E14")
+	if !strings.Contains(out, "walk-in at prime time:  3/9 served") {
+		t.Errorf("walk-in row:\n%s", out)
+	}
+	if !strings.Contains(out, "advance booking:        9/9 served") {
+		t.Errorf("booking row:\n%s", out)
+	}
+	// runE14 errors when booking does not beat walk-in.
+}
+
+func TestE15FederationScales(t *testing.T) {
+	out := runToString(t, "E15")
+	var counts []float64
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) >= 3 && strings.HasPrefix(f[1], "provider") {
+			parts := strings.SplitN(f[2], "/", 2)
+			v, err := parseFloat(parts[0])
+			if err != nil {
+				t.Fatalf("row %q: %v", l, err)
+			}
+			counts = append(counts, v)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("rows = %v\n%s", counts, out)
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("federation not monotone: %v", counts)
+	}
+}
+
+func TestE16AdaptationReducesViolations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation study")
+	}
+	out := runToString(t, "E16")
+	// runE16 itself errors unless adaptation strictly reduces the
+	// violated time; check both rows rendered.
+	if !strings.Contains(out, "adaptation OFF") || !strings.Contains(out, "adaptation ON") {
+		t.Errorf("E16 output:\n%s", out)
+	}
+}
+
+func TestE17MultiplexingGain(t *testing.T) {
+	out := runToString(t, "E17")
+	var byPeak, byAvg float64
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) >= 3 && f[1] == "admits" {
+			v, err := parseFloat(f[2])
+			if err != nil {
+				t.Fatalf("row %q: %v", l, err)
+			}
+			switch f[0] {
+			case "by-peak":
+				byPeak = v
+			case "by-average":
+				byAvg = v
+			}
+		}
+	}
+	if byAvg < 2*byPeak {
+		t.Errorf("multiplexing gain too small: by-average %v vs by-peak %v\n%s", byAvg, byPeak, out)
+	}
+}
+
+func TestE18ReplicationMonotone(t *testing.T) {
+	out := runToString(t, "E18")
+	var counts []float64
+	for _, l := range strings.Split(out, "\n") {
+		f := strings.Fields(l)
+		if len(f) >= 3 && f[0] == "replication" {
+			parts := strings.SplitN(f[2], "/", 2)
+			v, err := parseFloat(parts[0])
+			if err != nil {
+				t.Fatalf("row %q: %v", l, err)
+			}
+			counts = append(counts, v)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("rows = %v\n%s", counts, out)
+	}
+	if !(counts[0] <= counts[1] && counts[1] <= counts[2] && counts[2] > counts[0]) {
+		t.Errorf("replication not helping: %v", counts)
+	}
+}
+
+func TestF1F2Render(t *testing.T) {
+	f1 := runToString(t, "F1")
+	for _, want := range []string{"monomedia", "variant", "super-color", "black&white"} {
+		if !strings.Contains(f1, want) {
+			t.Errorf("F1 missing %q", want)
+		}
+	}
+	f2 := runToString(t, "F2")
+	for _, want := range []string{"1..60", "10..1920", "importance profile"} {
+		if !strings.Contains(f2, want) {
+			t.Errorf("F2 missing %q:\n%s", want, f2)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf bytes.Buffer
+	if err := Run("all", &buf); err != nil {
+		t.Fatalf("Run(all): %v", err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(buf.String(), "=== "+e.ID+":") {
+			t.Errorf("all-run missing %s", e.ID)
+		}
+	}
+}

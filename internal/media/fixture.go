@@ -1,0 +1,165 @@
+package media
+
+import (
+	"fmt"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+// This file provides fixture builders used across the repository's tests,
+// examples and experiment harness. They construct documents shaped like the
+// paper's running example: a news article with video, audio, text and image
+// components whose variants differ in color quality, frame rate, resolution
+// and server location.
+
+// VideoVariant builds a video variant with plausible MPEG-1 frame sizes for
+// the given quality: frame bytes scale with resolution and color depth so
+// that the Section 6 mapping produces distinct bit rates per variant.
+func VideoVariant(id VariantID, server ServerID, format Format, v qos.VideoQoS, duration time.Duration) Variant {
+	// Bytes per frame: proportional to resolution (lines ≈ 3/4 of pixels
+	// per line) and to a color-depth factor.
+	depth := int64(1)
+	switch v.Color {
+	case qos.Grey:
+		depth = 2
+	case qos.Color:
+		depth = 3
+	case qos.SuperColor:
+		depth = 4
+	}
+	avg := int64(v.Resolution) * int64(v.Resolution) * 3 / 4 * depth / 40 // ~25:1 compression
+	if avg < 256 {
+		avg = 256
+	}
+	max := avg * 3 // I-frames dominate
+	frames := int64(v.FrameRate) * int64(duration/time.Second)
+	return Variant{
+		ID:        id,
+		Format:    format,
+		QoS:       qos.VideoSetting(v),
+		FileBytes: avg * frames,
+		Blocks:    qos.BlockStats{MaxBlockBytes: max, AvgBlockBytes: avg},
+		Server:    server,
+	}
+}
+
+// AudioVariant builds an audio variant whose sample-block sizes yield the
+// conventional bit rate for the grade (CD stereo 16-bit, telephone 8-bit).
+func AudioVariant(id VariantID, server ServerID, format Format, a qos.AudioQoS, duration time.Duration) Variant {
+	var blockBytes int64 = 1 // telephone: 8-bit mono
+	if a.Grade == qos.CDQuality {
+		blockBytes = 4 // CD: 16-bit stereo
+	}
+	samples := int64(a.Grade.SampleRate()) * int64(duration/time.Second)
+	return Variant{
+		ID:        id,
+		Format:    format,
+		QoS:       qos.AudioSetting(a),
+		FileBytes: blockBytes * samples,
+		Blocks:    qos.BlockStats{MaxBlockBytes: blockBytes, AvgBlockBytes: blockBytes},
+		Server:    server,
+	}
+}
+
+// TextVariant builds a text variant of the given language.
+func TextVariant(id VariantID, server ServerID, lang qos.Language, bytes int64) Variant {
+	return Variant{
+		ID:        id,
+		Format:    PlainText,
+		QoS:       qos.TextSetting(qos.TextQoS{Language: lang}),
+		FileBytes: bytes,
+		Server:    server,
+	}
+}
+
+// ImageVariant builds a still-image variant.
+func ImageVariant(id VariantID, server ServerID, format Format, i qos.ImageQoS) Variant {
+	bytes := int64(i.Resolution) * int64(i.Resolution) * 3 / 4 / 10
+	if bytes < 128 {
+		bytes = 128
+	}
+	return Variant{
+		ID:        id,
+		Format:    format,
+		QoS:       qos.ImageSetting(i),
+		FileBytes: bytes,
+		Server:    server,
+	}
+}
+
+// NewsArticleSpec parameterizes BuildNewsArticle.
+type NewsArticleSpec struct {
+	ID       DocumentID
+	Title    string
+	Duration time.Duration
+	// Servers receive the variants round-robin; at least one required.
+	Servers []ServerID
+	// VideoQualities and AudioQualities produce one variant each. Empty
+	// slices omit the medium entirely.
+	VideoQualities []qos.VideoQoS
+	AudioQualities []qos.AudioQoS
+	// Languages produces one text variant per language.
+	Languages []qos.Language
+	// WithImage adds a color still image component.
+	WithImage bool
+	// CopyrightFee in milli-dollars (CostCop of Section 7).
+	CopyrightFee int64
+}
+
+// BuildNewsArticle constructs a multimedia news article in the shape the
+// paper's introduction motivates: a video sequence with audio commentary,
+// caption text and an optional headline image, with lip-sync (parallel)
+// temporal constraints between audio and video.
+func BuildNewsArticle(spec NewsArticleSpec) Document {
+	if len(spec.Servers) == 0 {
+		spec.Servers = []ServerID{"server-1"}
+	}
+	if spec.Duration == 0 {
+		spec.Duration = 3 * time.Minute
+	}
+	server := func(i int) ServerID { return spec.Servers[i%len(spec.Servers)] }
+
+	doc := Document{ID: spec.ID, Title: spec.Title, CopyrightFee: spec.CopyrightFee}
+	if len(spec.VideoQualities) > 0 {
+		m := Monomedia{ID: "video", Kind: qos.Video, Name: spec.Title + " (video)", Duration: spec.Duration}
+		for i, v := range spec.VideoQualities {
+			id := VariantID(fmt.Sprintf("video-v%d", i+1))
+			m.Variants = append(m.Variants, VideoVariant(id, server(i), MPEG1, v, spec.Duration))
+		}
+		doc.Monomedia = append(doc.Monomedia, m)
+	}
+	if len(spec.AudioQualities) > 0 {
+		m := Monomedia{ID: "audio", Kind: qos.Audio, Name: spec.Title + " (audio)", Duration: spec.Duration}
+		for i, a := range spec.AudioQualities {
+			id := VariantID(fmt.Sprintf("audio-v%d", i+1))
+			m.Variants = append(m.Variants, AudioVariant(id, server(i+1), MPEG1Audio, a, spec.Duration))
+		}
+		doc.Monomedia = append(doc.Monomedia, m)
+	}
+	if len(spec.Languages) > 0 {
+		m := Monomedia{ID: "caption", Kind: qos.Text, Name: spec.Title + " (caption)"}
+		for i, l := range spec.Languages {
+			id := VariantID(fmt.Sprintf("caption-%s", l))
+			m.Variants = append(m.Variants, TextVariant(id, server(i), l, 4096))
+		}
+		doc.Monomedia = append(doc.Monomedia, m)
+	}
+	if spec.WithImage {
+		m := Monomedia{ID: "headline", Kind: qos.Image, Name: spec.Title + " (headline)"}
+		m.Variants = append(m.Variants,
+			ImageVariant("headline-v1", server(0), JPEG, qos.ImageQoS{Color: qos.Color, Resolution: qos.TVResolution}),
+			ImageVariant("headline-v2", server(1), GIF, qos.ImageQoS{Color: qos.Grey, Resolution: qos.TVResolution}),
+		)
+		doc.Monomedia = append(doc.Monomedia, m)
+	}
+	if _, ok := doc.Component("video"); ok {
+		if _, ok := doc.Component("audio"); ok {
+			doc.Temporal = append(doc.Temporal, TemporalConstraint{
+				A: "video", B: "audio", Relation: Parallel, Tolerance: 80 * time.Millisecond,
+			})
+		}
+		doc.Spatial = append(doc.Spatial, SpatialConstraint{Monomedia: "video", X: 0, Y: 0, Width: 640, Height: 480})
+	}
+	return doc
+}

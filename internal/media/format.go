@@ -1,0 +1,90 @@
+package media
+
+import "qosneg/internal/qos"
+
+// Format is a coding format of a stored variant. The static compatibility
+// check of negotiation step 2 ("if the client machine supports only MPEG
+// decoder and the video variant is coded as MJPEG file then variant1 will
+// simply not be considered") matches variant formats against the decoder
+// list of the client machine.
+type Format string
+
+// Formats appearing in the news-on-demand prototype and its contemporaries.
+const (
+	// Video coding formats. MPEG1 is the prototype's player format; the
+	// INRS scalable decoder consumes the scalable profile.
+	MPEG1        Format = "MPEG-1"
+	MPEG2        Format = "MPEG-2"
+	MJPEG        Format = "M-JPEG"
+	H261         Format = "H.261"
+	ScalableMPEG Format = "scalable-MPEG"
+
+	// Audio coding formats.
+	PCM        Format = "PCM"
+	MPEG1Audio Format = "MPEG-1-audio"
+	GSM        Format = "GSM"
+
+	// Still image and graphic formats.
+	JPEG Format = "JPEG"
+	GIF  Format = "GIF"
+	CGM  Format = "CGM"
+
+	// Text formats.
+	PlainText  Format = "plain-text"
+	HTML       Format = "HTML"
+	PostScript Format = "PostScript"
+)
+
+// formatKinds maps each known format to the media kind it encodes. Image
+// formats also serve graphics (both use the ImageQoS parameters).
+var formatKinds = map[Format]qos.MediaKind{
+	MPEG1:        qos.Video,
+	MPEG2:        qos.Video,
+	MJPEG:        qos.Video,
+	H261:         qos.Video,
+	ScalableMPEG: qos.Video,
+	PCM:          qos.Audio,
+	MPEG1Audio:   qos.Audio,
+	GSM:          qos.Audio,
+	JPEG:         qos.Image,
+	GIF:          qos.Image,
+	CGM:          qos.Image,
+	PlainText:    qos.Text,
+	HTML:         qos.Text,
+	PostScript:   qos.Text,
+}
+
+// Known reports whether f is one of the formats the prototype understands.
+func (f Format) Known() bool { _, ok := formatKinds[f]; return ok }
+
+// MediaKind returns the media kind the format encodes; unknown formats
+// return false.
+func (f Format) MediaKind() (qos.MediaKind, bool) {
+	k, ok := formatKinds[f]
+	return k, ok
+}
+
+// Decodes reports whether a file in format f can carry a monomedia of kind
+// k. Graphics accept image formats (and CGM), because they share the image
+// QoS parameters.
+func (f Format) Decodes(k qos.MediaKind) bool {
+	fk, ok := formatKinds[f]
+	if !ok {
+		return false
+	}
+	if k == qos.Graphic {
+		k = qos.Image
+	}
+	return fk == k
+}
+
+// Formats lists every known format, grouped by media kind in declaration
+// order; useful for populating client capability sets in tests and examples.
+func Formats() []Format {
+	return []Format{
+		MPEG1, MPEG2, MJPEG, H261, ScalableMPEG,
+		PCM, MPEG1Audio, GSM,
+		JPEG, GIF, CGM,
+		PlainText, HTML, PostScript,
+	}
+}

@@ -1,0 +1,245 @@
+// Package media implements the multimedia document model of Section 2
+// (Figure 1): a document is either a monomedia or a multimedia composed of
+// one or more monomedia objects, each of which exists in several physical
+// representations called variants. Variants of the same monomedia differ in
+// static parameters: coding format, file size, the QoS the representation
+// delivers, and the location (which server machine stores the file). Copies
+// of the same file on different servers are variants too.
+//
+// The package also carries the spatial and temporal synchronization
+// constraints that Figure 1 attaches to multimedia documents; the QoS
+// negotiation procedure treats them as opaque document attributes, but the
+// playout session uses the temporal constraints to schedule monomedia
+// streams.
+package media
+
+import (
+	"fmt"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+// DocumentID names a document in the multimedia database.
+type DocumentID string
+
+// MonomediaID names a monomedia component within its document.
+type MonomediaID string
+
+// VariantID names one physical representation of a monomedia.
+type VariantID string
+
+// ServerID names the server machine that stores a variant. The registry and
+// CMFS packages share this identifier space.
+type ServerID string
+
+// Variant is one physical representation of a monomedia object (Section 2).
+type Variant struct {
+	ID VariantID `json:"id"`
+	// Format is the coding format of the file, e.g. MPEG1 or MJPEG. The
+	// static compatibility check (negotiation step 2) matches it against
+	// the decoders of the client machine.
+	Format Format `json:"format"`
+	// QoS is the user-perceptible quality this representation delivers,
+	// e.g. (color, 25 frames/s, TV resolution) for a video variant.
+	QoS qos.Setting `json:"qos"`
+	// FileBytes is the size of the stored file.
+	FileBytes int64 `json:"fileBytes"`
+	// Blocks carries the maximum and average block (frame/sample) lengths
+	// stored in the MM database and used by the Section 6 QoS mapping.
+	// Zero for discrete media.
+	Blocks qos.BlockStats `json:"blocks"`
+	// Server is the machine that stores the file: the variant's
+	// localization. Selecting the variant selects this server.
+	Server ServerID `json:"server"`
+}
+
+// Validate checks the variant's internal consistency for a monomedia of
+// kind k.
+func (v Variant) Validate(k qos.MediaKind) error {
+	if v.ID == "" {
+		return fmt.Errorf("variant: empty id")
+	}
+	if v.Server == "" {
+		return fmt.Errorf("variant %s: no server location", v.ID)
+	}
+	if v.FileBytes < 0 {
+		return fmt.Errorf("variant %s: negative file size %d", v.ID, v.FileBytes)
+	}
+	if err := v.QoS.Validate(); err != nil {
+		return fmt.Errorf("variant %s: %w", v.ID, err)
+	}
+	vk, _ := v.QoS.Kind()
+	want := k
+	if k == qos.Graphic {
+		want = qos.Image // graphics share the image QoS parameters
+	}
+	if vk != want {
+		return fmt.Errorf("variant %s: QoS kind %s does not match monomedia kind %s", v.ID, vk, k)
+	}
+	if !v.Format.Decodes(want) {
+		return fmt.Errorf("variant %s: format %s cannot encode %s", v.ID, v.Format, k)
+	}
+	if err := v.Blocks.Validate(); err != nil {
+		return fmt.Errorf("variant %s: %w", v.ID, err)
+	}
+	if k.Continuous() && v.Blocks.MaxBlockBytes == 0 {
+		return fmt.Errorf("variant %s: continuous medium without block statistics", v.ID)
+	}
+	return nil
+}
+
+// NetworkQoS derives the Section 6 network parameters needed to deliver the
+// variant without transformation.
+func (v Variant) NetworkQoS() qos.NetworkQoS { return qos.MapSetting(v.QoS, v.Blocks) }
+
+// Monomedia is a single-medium object of the document model: "a text, a
+// still image, an audio sequence, a graphic or a video sequence", available
+// in one or more variants.
+type Monomedia struct {
+	ID   MonomediaID   `json:"id"`
+	Kind qos.MediaKind `json:"kind"`
+	// Name is a human-readable label shown by the profile manager.
+	Name string `json:"name,omitempty"`
+	// Duration is the playout length D_i used by the Section 7 cost
+	// computation. Zero for discrete media.
+	Duration time.Duration `json:"duration,omitempty"`
+	// Variants are the available physical representations, at least one.
+	Variants []Variant `json:"variants"`
+}
+
+// Validate checks the monomedia and all of its variants.
+func (m Monomedia) Validate() error {
+	if m.ID == "" {
+		return fmt.Errorf("monomedia: empty id")
+	}
+	if !m.Kind.Valid() {
+		return fmt.Errorf("monomedia %s: invalid kind %d", m.ID, int(m.Kind))
+	}
+	if len(m.Variants) == 0 {
+		return fmt.Errorf("monomedia %s: no variants", m.ID)
+	}
+	if m.Kind.Continuous() && m.Duration <= 0 {
+		return fmt.Errorf("monomedia %s: continuous medium needs a positive duration", m.ID)
+	}
+	if m.Duration < 0 {
+		return fmt.Errorf("monomedia %s: negative duration", m.ID)
+	}
+	seen := make(map[VariantID]bool, len(m.Variants))
+	for _, v := range m.Variants {
+		if seen[v.ID] {
+			return fmt.Errorf("monomedia %s: duplicate variant id %s", m.ID, v.ID)
+		}
+		seen[v.ID] = true
+		if err := v.Validate(m.Kind); err != nil {
+			return fmt.Errorf("monomedia %s: %w", m.ID, err)
+		}
+	}
+	return nil
+}
+
+// Variant returns the variant with the given id, if present.
+func (m Monomedia) Variant(id VariantID) (Variant, bool) {
+	for _, v := range m.Variants {
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return Variant{}, false
+}
+
+// Document is a multimedia document (Figure 1): one or more monomedia plus
+// spatial and temporal synchronization constraints. A document with a single
+// monomedia component plays the role of Figure 1's plain monomedia document.
+type Document struct {
+	ID    DocumentID `json:"id"`
+	Title string     `json:"title,omitempty"`
+	// Monomedia are the aggregated components, in presentation order.
+	Monomedia []Monomedia `json:"monomedia"`
+	// Temporal and Spatial are the synchronization constraints of Figure 1.
+	Temporal []TemporalConstraint `json:"temporal,omitempty"`
+	Spatial  []SpatialConstraint  `json:"spatial,omitempty"`
+	// CopyrightFee is the CostCop term of the Section 7 cost formula, in
+	// milli-dollars.
+	CopyrightFee int64 `json:"copyrightFee,omitempty"`
+}
+
+// IsMonomedia reports whether the document consists of a single monomedia
+// object (the left branch of Figure 1).
+func (d Document) IsMonomedia() bool { return len(d.Monomedia) == 1 }
+
+// Component returns the monomedia with the given id, if present.
+func (d Document) Component(id MonomediaID) (Monomedia, bool) {
+	for _, m := range d.Monomedia {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Monomedia{}, false
+}
+
+// Validate checks the document, its components, and its synchronization
+// constraints.
+func (d Document) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("document: empty id")
+	}
+	if len(d.Monomedia) == 0 {
+		return fmt.Errorf("document %s: no monomedia components", d.ID)
+	}
+	if d.CopyrightFee < 0 {
+		return fmt.Errorf("document %s: negative copyright fee", d.ID)
+	}
+	seen := make(map[MonomediaID]bool, len(d.Monomedia))
+	for _, m := range d.Monomedia {
+		if seen[m.ID] {
+			return fmt.Errorf("document %s: duplicate monomedia id %s", d.ID, m.ID)
+		}
+		seen[m.ID] = true
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("document %s: %w", d.ID, err)
+		}
+	}
+	for _, c := range d.Temporal {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("document %s: %w", d.ID, err)
+		}
+		if !seen[c.A] || !seen[c.B] {
+			return fmt.Errorf("document %s: temporal constraint references unknown monomedia (%s, %s)", d.ID, c.A, c.B)
+		}
+	}
+	for _, c := range d.Spatial {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("document %s: %w", d.ID, err)
+		}
+		if !seen[c.Monomedia] {
+			return fmt.Errorf("document %s: spatial constraint references unknown monomedia %s", d.ID, c.Monomedia)
+		}
+	}
+	return nil
+}
+
+// Duration returns the playout duration of the document: the longest
+// monomedia duration (components play in parallel unless temporal
+// constraints sequence them; the session scheduler refines this).
+func (d Document) Duration() time.Duration {
+	var max time.Duration
+	for _, m := range d.Monomedia {
+		if m.Duration > max {
+			max = m.Duration
+		}
+	}
+	return max
+}
+
+// Continuous returns the continuous (audio/video) components of the
+// document, the ones that consume streaming resources.
+func (d Document) Continuous() []Monomedia {
+	var out []Monomedia
+	for _, m := range d.Monomedia {
+		if m.Kind.Continuous() {
+			out = append(out, m)
+		}
+	}
+	return out
+}

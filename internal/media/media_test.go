@@ -1,0 +1,359 @@
+package media
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+func validVideoVariant() Variant {
+	return VideoVariant("v1", "server-1", MPEG1,
+		qos.VideoQoS{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution},
+		time.Minute)
+}
+
+func TestVariantValidate(t *testing.T) {
+	v := validVideoVariant()
+	if err := v.Validate(qos.Video); err != nil {
+		t.Fatalf("valid variant rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Variant)
+		kind   qos.MediaKind
+	}{
+		{"empty id", func(v *Variant) { v.ID = "" }, qos.Video},
+		{"no server", func(v *Variant) { v.Server = "" }, qos.Video},
+		{"negative size", func(v *Variant) { v.FileBytes = -1 }, qos.Video},
+		{"kind mismatch", func(v *Variant) {}, qos.Audio},
+		{"format mismatch", func(v *Variant) { v.Format = PCM }, qos.Video},
+		{"bad blocks", func(v *Variant) { v.Blocks.AvgBlockBytes = v.Blocks.MaxBlockBytes + 1 }, qos.Video},
+		{"missing blocks", func(v *Variant) { v.Blocks = qos.BlockStats{} }, qos.Video},
+		{"bad qos", func(v *Variant) { v.QoS.Video.FrameRate = 0 }, qos.Video},
+	}
+	for _, c := range cases {
+		v := validVideoVariant()
+		c.mutate(&v)
+		if err := v.Validate(c.kind); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestVariantNetworkQoS(t *testing.T) {
+	v := validVideoVariant()
+	n := v.NetworkQoS()
+	want := qos.BitRate(v.Blocks.MaxBlockBytes * 8 * 25)
+	if n.MaxBitRate != want {
+		t.Errorf("maxBitRate = %d, want %d", n.MaxBitRate, want)
+	}
+	if n.Jitter != qos.VideoJitter {
+		t.Errorf("jitter = %v", n.Jitter)
+	}
+}
+
+func TestGraphicAcceptsImageQoS(t *testing.T) {
+	g := Variant{
+		ID:     "g1",
+		Format: CGM,
+		QoS:    qos.ImageSetting(qos.ImageQoS{Color: qos.Color, Resolution: 480}),
+		Server: "server-1",
+	}
+	if err := g.Validate(qos.Graphic); err != nil {
+		t.Errorf("graphic with image QoS rejected: %v", err)
+	}
+}
+
+func TestMonomediaValidate(t *testing.T) {
+	m := Monomedia{ID: "video", Kind: qos.Video, Duration: time.Minute,
+		Variants: []Variant{validVideoVariant()}}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("valid monomedia rejected: %v", err)
+	}
+
+	bad := []Monomedia{
+		{ID: "", Kind: qos.Video, Duration: time.Minute, Variants: []Variant{validVideoVariant()}},
+		{ID: "m", Kind: qos.MediaKind(9), Duration: time.Minute, Variants: []Variant{validVideoVariant()}},
+		{ID: "m", Kind: qos.Video, Duration: time.Minute},
+		{ID: "m", Kind: qos.Video, Variants: []Variant{validVideoVariant()}}, // no duration
+		{ID: "m", Kind: qos.Video, Duration: time.Minute,
+			Variants: []Variant{validVideoVariant(), validVideoVariant()}}, // dup variant ids
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad monomedia %d accepted", i)
+		}
+	}
+}
+
+func TestMonomediaVariantLookup(t *testing.T) {
+	m := Monomedia{ID: "video", Kind: qos.Video, Duration: time.Minute,
+		Variants: []Variant{validVideoVariant()}}
+	if _, ok := m.Variant("v1"); !ok {
+		t.Error("v1 should be found")
+	}
+	if _, ok := m.Variant("nope"); ok {
+		t.Error("nope should not be found")
+	}
+}
+
+func newsDoc() Document {
+	return BuildNewsArticle(NewsArticleSpec{
+		ID:       "news-1",
+		Title:    "Election night",
+		Duration: 2 * time.Minute,
+		Servers:  []ServerID{"server-1", "server-2"},
+		VideoQualities: []qos.VideoQoS{
+			{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution},
+			{Color: qos.Grey, FrameRate: 25, Resolution: qos.TVResolution},
+			{Color: qos.BlackWhite, FrameRate: 15, Resolution: qos.TVResolution},
+		},
+		AudioQualities: []qos.AudioQoS{
+			{Grade: qos.CDQuality, Language: qos.English},
+			{Grade: qos.TelephoneQuality, Language: qos.English},
+		},
+		Languages:    []qos.Language{qos.English, qos.French},
+		WithImage:    true,
+		CopyrightFee: 500,
+	})
+}
+
+func TestBuildNewsArticle(t *testing.T) {
+	d := newsDoc()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("fixture document invalid: %v", err)
+	}
+	if d.IsMonomedia() {
+		t.Error("news article is a multimedia document")
+	}
+	if len(d.Monomedia) != 4 {
+		t.Fatalf("want 4 components, got %d", len(d.Monomedia))
+	}
+	video, ok := d.Component("video")
+	if !ok || len(video.Variants) != 3 {
+		t.Fatalf("video component: ok=%v variants=%d", ok, len(video.Variants))
+	}
+	if got := len(d.Continuous()); got != 2 {
+		t.Errorf("continuous components = %d, want 2", got)
+	}
+	if d.Duration() != 2*time.Minute {
+		t.Errorf("duration = %v", d.Duration())
+	}
+	// Variants spread across both servers.
+	servers := map[ServerID]bool{}
+	for _, v := range video.Variants {
+		servers[v.Server] = true
+	}
+	if len(servers) < 2 {
+		t.Error("variants should spread across servers")
+	}
+	// Lip-sync constraint present.
+	if len(d.Temporal) != 1 || d.Temporal[0].Relation != Parallel {
+		t.Errorf("temporal constraints = %+v", d.Temporal)
+	}
+}
+
+func TestDocumentValidateErrors(t *testing.T) {
+	base := newsDoc()
+
+	d := base
+	d.ID = ""
+	if err := d.Validate(); err == nil {
+		t.Error("empty id accepted")
+	}
+
+	d = base
+	d.Monomedia = nil
+	if err := d.Validate(); err == nil {
+		t.Error("empty document accepted")
+	}
+
+	d = base
+	d.CopyrightFee = -1
+	if err := d.Validate(); err == nil {
+		t.Error("negative copyright accepted")
+	}
+
+	d = base
+	d.Monomedia = append([]Monomedia{}, base.Monomedia...)
+	d.Monomedia = append(d.Monomedia, base.Monomedia[0]) // duplicate id
+	if err := d.Validate(); err == nil {
+		t.Error("duplicate monomedia id accepted")
+	}
+
+	d = base
+	d.Temporal = []TemporalConstraint{{A: "video", B: "ghost", Relation: Parallel}}
+	if err := d.Validate(); err == nil {
+		t.Error("dangling temporal reference accepted")
+	}
+
+	d = base
+	d.Spatial = []SpatialConstraint{{Monomedia: "ghost", Width: 1, Height: 1}}
+	if err := d.Validate(); err == nil {
+		t.Error("dangling spatial reference accepted")
+	}
+}
+
+func TestTemporalConstraintValidate(t *testing.T) {
+	good := []TemporalConstraint{
+		{A: "a", B: "b", Relation: Parallel},
+		{A: "a", B: "b", Relation: Sequential, Tolerance: time.Millisecond},
+		{A: "a", B: "b", Relation: Overlap, Offset: time.Second},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("good constraint %d rejected: %v", i, err)
+		}
+	}
+	bad := []TemporalConstraint{
+		{A: "", B: "b", Relation: Parallel},
+		{A: "a", B: "a", Relation: Parallel},
+		{A: "a", B: "b", Relation: "before"},
+		{A: "a", B: "b", Relation: Parallel, Offset: time.Second},
+		{A: "a", B: "b", Relation: Overlap},
+		{A: "a", B: "b", Relation: Parallel, Tolerance: -time.Second},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad constraint %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSpatialConstraintValidate(t *testing.T) {
+	if err := (SpatialConstraint{Monomedia: "v", Width: 10, Height: 10}).Validate(); err != nil {
+		t.Errorf("good constraint rejected: %v", err)
+	}
+	bad := []SpatialConstraint{
+		{Monomedia: "", Width: 1, Height: 1},
+		{Monomedia: "v", X: -1, Width: 1, Height: 1},
+		{Monomedia: "v", Width: 0, Height: 1},
+		{Monomedia: "v", Width: 1, Height: -2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad constraint %d accepted", i)
+		}
+	}
+}
+
+func TestStartTimes(t *testing.T) {
+	d := Document{
+		ID: "d",
+		Monomedia: []Monomedia{
+			{ID: "intro", Kind: qos.Video, Duration: 10 * time.Second, Variants: []Variant{validVideoVariant()}},
+			{ID: "main", Kind: qos.Video, Duration: 30 * time.Second, Variants: []Variant{validVideoVariant()}},
+			{ID: "audio", Kind: qos.Audio, Duration: 40 * time.Second,
+				Variants: []Variant{AudioVariant("a1", "server-1", PCM, qos.AudioQoS{Grade: qos.CDQuality}, 40*time.Second)}},
+			{ID: "credits", Kind: qos.Text,
+				Variants: []Variant{TextVariant("t1", "server-1", qos.English, 128)}},
+		},
+		Temporal: []TemporalConstraint{
+			{A: "intro", B: "main", Relation: Sequential},
+			{A: "intro", B: "audio", Relation: Parallel},
+			{A: "main", B: "credits", Relation: Overlap, Offset: 25 * time.Second},
+		},
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("document invalid: %v", err)
+	}
+	starts := StartTimes(d)
+	want := map[MonomediaID]time.Duration{
+		"intro":   0,
+		"main":    10 * time.Second,
+		"audio":   0,
+		"credits": 35 * time.Second,
+	}
+	for id, w := range want {
+		if starts[id] != w {
+			t.Errorf("start[%s] = %v, want %v", id, starts[id], w)
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	for _, f := range Formats() {
+		if !f.Known() {
+			t.Errorf("%s should be known", f)
+		}
+		if _, ok := f.MediaKind(); !ok {
+			t.Errorf("%s should have a media kind", f)
+		}
+	}
+	if Format("AVI").Known() {
+		t.Error("AVI is not a known prototype format")
+	}
+	if Format("AVI").Decodes(qos.Video) {
+		t.Error("unknown formats decode nothing")
+	}
+	if !MPEG1.Decodes(qos.Video) || MPEG1.Decodes(qos.Audio) {
+		t.Error("MPEG-1 decodes video only")
+	}
+	if !JPEG.Decodes(qos.Graphic) {
+		t.Error("graphics accept image formats")
+	}
+	if k, _ := MJPEG.MediaKind(); k != qos.Video {
+		t.Errorf("MJPEG kind = %v", k)
+	}
+}
+
+func TestDocumentJSONRoundTrip(t *testing.T) {
+	in := newsDoc()
+	data, err := json.MarshalIndent(in, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Document
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("round-tripped document invalid: %v", err)
+	}
+	if out.ID != in.ID || len(out.Monomedia) != len(in.Monomedia) {
+		t.Errorf("round trip lost structure: %s/%d", out.ID, len(out.Monomedia))
+	}
+	v1, _ := in.Component("video")
+	v2, _ := out.Component("video")
+	if v1.Variants[0].Blocks != v2.Variants[0].Blocks {
+		t.Error("block stats lost in round trip")
+	}
+	if !strings.Contains(string(data), "maxBlockBytes") {
+		t.Error("JSON should carry block statistics")
+	}
+}
+
+func TestAudioVariantRates(t *testing.T) {
+	cd := AudioVariant("a", "s", PCM, qos.AudioQoS{Grade: qos.CDQuality}, time.Minute)
+	tel := AudioVariant("b", "s", GSM, qos.AudioQoS{Grade: qos.TelephoneQuality}, time.Minute)
+	cdRate := cd.NetworkQoS().AvgBitRate
+	telRate := tel.NetworkQoS().AvgBitRate
+	if cdRate <= telRate {
+		t.Errorf("CD rate %v should exceed telephone rate %v", cdRate, telRate)
+	}
+	// CD: 4 bytes × 44100 Hz = 1.4112 Mbit/s.
+	if cdRate != qos.BitRate(4*8*44100) {
+		t.Errorf("CD rate = %d", cdRate)
+	}
+}
+
+func TestVideoVariantScalesWithQuality(t *testing.T) {
+	hi := VideoVariant("h", "s", MPEG1, qos.VideoQoS{Color: qos.SuperColor, FrameRate: 30, Resolution: qos.HDTVResolution}, time.Minute)
+	lo := VideoVariant("l", "s", MPEG1, qos.VideoQoS{Color: qos.BlackWhite, FrameRate: 5, Resolution: qos.MinResolution}, time.Minute)
+	if hi.NetworkQoS().AvgBitRate <= lo.NetworkQoS().AvgBitRate {
+		t.Error("higher quality must need more throughput")
+	}
+	if hi.FileBytes <= lo.FileBytes {
+		t.Error("higher quality must be a bigger file")
+	}
+	if err := hi.Validate(qos.Video); err != nil {
+		t.Errorf("hi variant invalid: %v", err)
+	}
+	if err := lo.Validate(qos.Video); err != nil {
+		t.Errorf("lo variant invalid: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package media
+
+import "fmt"
+
+// Replicate returns a copy of the document in which every variant is
+// replicated onto additional servers, round-robin over the given server
+// list: Section 2's "copies of the same file are considered also as
+// variants". factor is the total number of copies per variant (1 leaves
+// the document unchanged); copies carry an "#n" id suffix and differ only
+// in their server location, which gives the classification and adaptation
+// procedures more placements to choose from.
+func Replicate(doc Document, servers []ServerID, factor int) Document {
+	if factor <= 1 || len(servers) < 2 {
+		return doc
+	}
+	out := doc
+	out.Monomedia = make([]Monomedia, len(doc.Monomedia))
+	for mi, m := range doc.Monomedia {
+		out.Monomedia[mi] = m
+		out.Monomedia[mi].Variants = make([]Variant, 0, len(m.Variants)*factor)
+		for _, v := range m.Variants {
+			out.Monomedia[mi].Variants = append(out.Monomedia[mi].Variants, v)
+			// Place copies on the other servers, starting after the
+			// original's position in the server list.
+			home := 0
+			for i, s := range servers {
+				if s == v.Server {
+					home = i
+					break
+				}
+			}
+			placed := map[ServerID]bool{v.Server: true}
+			for c := 1; c < factor; c++ {
+				copyV := v
+				copyV.ID = VariantID(fmt.Sprintf("%s#%d", v.ID, c+1))
+				copyV.Server = servers[(home+c)%len(servers)]
+				if placed[copyV.Server] {
+					continue // fewer distinct servers than copies requested
+				}
+				placed[copyV.Server] = true
+				out.Monomedia[mi].Variants = append(out.Monomedia[mi].Variants, copyV)
+			}
+		}
+	}
+	return out
+}

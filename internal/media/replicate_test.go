@@ -1,0 +1,116 @@
+package media
+
+import (
+	"testing"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+func replDoc() Document {
+	return BuildNewsArticle(NewsArticleSpec{
+		ID:       "news-1",
+		Title:    "T",
+		Duration: time.Minute,
+		Servers:  []ServerID{"s1", "s2", "s3"},
+		VideoQualities: []qos.VideoQoS{
+			{Color: qos.Color, FrameRate: 25, Resolution: 480},
+			{Color: qos.Grey, FrameRate: 15, Resolution: 480},
+		},
+		AudioQualities: []qos.AudioQoS{{Grade: qos.CDQuality}},
+	})
+}
+
+func TestReplicateAddsCopies(t *testing.T) {
+	doc := replDoc()
+	servers := []ServerID{"s1", "s2", "s3"}
+	r := Replicate(doc, servers, 2)
+	if err := r.Validate(); err != nil {
+		t.Fatalf("replicated document invalid: %v", err)
+	}
+	video, _ := r.Component("video")
+	orig, _ := doc.Component("video")
+	if len(video.Variants) != 2*len(orig.Variants) {
+		t.Fatalf("video variants = %d, want %d", len(video.Variants), 2*len(orig.Variants))
+	}
+	// Each copy shares QoS and blocks with its original but sits on a
+	// different server.
+	byID := map[VariantID]Variant{}
+	for _, v := range video.Variants {
+		byID[v.ID] = v
+	}
+	for _, o := range orig.Variants {
+		c, ok := byID[VariantID(string(o.ID)+"#2")]
+		if !ok {
+			t.Fatalf("copy of %s missing", o.ID)
+		}
+		if c.Server == o.Server {
+			t.Errorf("copy of %s on the same server", o.ID)
+		}
+		if c.QoS.String() != o.QoS.String() || c.Blocks != o.Blocks || c.FileBytes != o.FileBytes {
+			t.Errorf("copy of %s differs beyond location", o.ID)
+		}
+	}
+	// The original document is untouched.
+	if len(orig.Variants) != 2 {
+		t.Error("Replicate mutated its input")
+	}
+}
+
+func TestReplicateFullFactor(t *testing.T) {
+	servers := []ServerID{"s1", "s2", "s3"}
+	r := Replicate(replDoc(), servers, 3)
+	video, _ := r.Component("video")
+	if len(video.Variants) != 6 {
+		t.Fatalf("variants = %d, want 6", len(video.Variants))
+	}
+	// Each original now exists on all three servers.
+	seen := map[string]map[ServerID]bool{}
+	for _, v := range video.Variants {
+		base := v.ID
+		for i, c := range base {
+			if c == '#' {
+				base = base[:i]
+				break
+			}
+		}
+		if seen[string(base)] == nil {
+			seen[string(base)] = map[ServerID]bool{}
+		}
+		seen[string(base)][v.Server] = true
+	}
+	for base, servers := range seen {
+		if len(servers) != 3 {
+			t.Errorf("%s on %d servers", base, len(servers))
+		}
+	}
+}
+
+func TestReplicateNoOpCases(t *testing.T) {
+	doc := replDoc()
+	if got := Replicate(doc, []ServerID{"s1", "s2"}, 1); len(mustComp(t, got, "video").Variants) != 2 {
+		t.Error("factor 1 must be a no-op")
+	}
+	if got := Replicate(doc, []ServerID{"s1"}, 3); len(mustComp(t, got, "video").Variants) != 2 {
+		t.Error("single server must be a no-op")
+	}
+	// Factor larger than the server count: capped at distinct servers.
+	got := Replicate(doc, []ServerID{"s1", "s2"}, 5)
+	for _, v := range mustComp(t, got, "video").Variants {
+		if v.Server != "s1" && v.Server != "s2" {
+			t.Errorf("unknown server %s", v.Server)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("over-replicated document invalid: %v", err)
+	}
+}
+
+func mustComp(t *testing.T, d Document, id MonomediaID) Monomedia {
+	t.Helper()
+	m, ok := d.Component(id)
+	if !ok {
+		t.Fatalf("component %s missing", id)
+	}
+	return m
+}

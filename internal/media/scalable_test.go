@@ -1,0 +1,80 @@
+package media
+
+import (
+	"testing"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+func scalableVariant(rate int) Variant {
+	return VideoVariant("sv1", "server-1", ScalableMPEG,
+		qos.VideoQoS{Color: qos.Color, FrameRate: rate, Resolution: qos.TVResolution},
+		time.Minute)
+}
+
+func TestScalableLayersExpansion(t *testing.T) {
+	layers := ScalableLayers(scalableVariant(60))
+	if len(layers) != 3 {
+		t.Fatalf("layers = %d, want 3 (60, 30, 15 fps)", len(layers))
+	}
+	rates := []int{60, 30, 15}
+	for i, l := range layers {
+		if l.QoS.Video.FrameRate != rates[i] {
+			t.Errorf("layer %d rate = %d, want %d", i, l.QoS.Video.FrameRate, rates[i])
+		}
+		// Everything but the frame rate (and id suffix) is inherited.
+		if l.QoS.Video.Color != qos.Color || l.QoS.Video.Resolution != qos.TVResolution {
+			t.Errorf("layer %d lost QoS fields: %+v", i, l.QoS.Video)
+		}
+		if l.Server != "server-1" || l.Format != ScalableMPEG {
+			t.Errorf("layer %d lost identity fields", i)
+		}
+		if err := l.Validate(qos.Video); err != nil {
+			t.Errorf("layer %d invalid: %v", i, err)
+		}
+	}
+	// The full layer keeps the original id; reduced layers are suffixed.
+	if layers[0].ID != "sv1" {
+		t.Errorf("full layer id = %s", layers[0].ID)
+	}
+	if layers[1].ID != "sv1@30fps" || layers[2].ID != "sv1@15fps" {
+		t.Errorf("reduced layer ids = %s, %s", layers[1].ID, layers[2].ID)
+	}
+	// Reduced layers need proportionally less bandwidth.
+	full := layers[0].NetworkQoS().AvgBitRate
+	half := layers[1].NetworkQoS().AvgBitRate
+	if half*2 != full {
+		t.Errorf("half layer rate %v vs full %v", half, full)
+	}
+}
+
+func TestScalableLayersDegenerate(t *testing.T) {
+	// A 2 fps scalable stream: layers 2 and 1 (quarter would be 0 fps).
+	layers := ScalableLayers(scalableVariant(2))
+	if len(layers) != 2 {
+		t.Fatalf("layers = %d, want 2", len(layers))
+	}
+	// A 1 fps stream has a single layer.
+	if got := len(ScalableLayers(scalableVariant(1))); got != 1 {
+		t.Errorf("1 fps layers = %d", got)
+	}
+	// Duplicate rates collapse (3 fps → 3, 1, 0: quarter dropped; half
+	// 1 fps kept once).
+	layers = ScalableLayers(scalableVariant(3))
+	if len(layers) != 2 {
+		t.Errorf("3 fps layers = %d, want 2", len(layers))
+	}
+}
+
+func TestScalableLayersNonScalable(t *testing.T) {
+	v := VideoVariant("v1", "s", MPEG1, qos.VideoQoS{Color: qos.Color, FrameRate: 60, Resolution: 480}, time.Minute)
+	layers := ScalableLayers(v)
+	if len(layers) != 1 || layers[0].ID != "v1" {
+		t.Errorf("non-scalable expansion: %+v", layers)
+	}
+	a := AudioVariant("a1", "s", PCM, qos.AudioQoS{Grade: qos.CDQuality}, time.Minute)
+	if got := len(ScalableLayers(a)); got != 1 {
+		t.Errorf("audio expansion = %d", got)
+	}
+}

@@ -1,0 +1,111 @@
+package media
+
+import (
+	"fmt"
+	"time"
+)
+
+// TemporalRelation is the kind of a temporal synchronization constraint
+// between two monomedia components (Figure 1's "temporal synchronization
+// constraints" attribute). The vocabulary follows the usual interval
+// relations used by the prototype's synchronization component [Lam 94].
+type TemporalRelation string
+
+// The supported temporal relations.
+const (
+	// Parallel starts B together with A (lip-sync audio and video).
+	Parallel TemporalRelation = "parallel"
+	// Sequential starts B when A finishes.
+	Sequential TemporalRelation = "sequential"
+	// Overlap starts B Offset after A starts.
+	Overlap TemporalRelation = "overlap"
+)
+
+// TemporalConstraint relates the start of monomedia B to monomedia A.
+type TemporalConstraint struct {
+	A        MonomediaID      `json:"a"`
+	B        MonomediaID      `json:"b"`
+	Relation TemporalRelation `json:"relation"`
+	// Offset applies to Overlap: B starts Offset after A's start.
+	Offset time.Duration `json:"offset,omitempty"`
+	// Tolerance is the admissible skew between the two streams; the
+	// synchronization protocol compensates jitter within it.
+	Tolerance time.Duration `json:"tolerance,omitempty"`
+}
+
+// Validate checks the constraint's internal consistency.
+func (c TemporalConstraint) Validate() error {
+	if c.A == "" || c.B == "" {
+		return fmt.Errorf("temporal constraint: empty monomedia reference")
+	}
+	if c.A == c.B {
+		return fmt.Errorf("temporal constraint: %s related to itself", c.A)
+	}
+	switch c.Relation {
+	case Parallel, Sequential:
+		if c.Offset != 0 {
+			return fmt.Errorf("temporal constraint %s-%s: offset only applies to overlap", c.A, c.B)
+		}
+	case Overlap:
+		if c.Offset <= 0 {
+			return fmt.Errorf("temporal constraint %s-%s: overlap needs a positive offset", c.A, c.B)
+		}
+	default:
+		return fmt.Errorf("temporal constraint %s-%s: unknown relation %q", c.A, c.B, c.Relation)
+	}
+	if c.Tolerance < 0 {
+		return fmt.Errorf("temporal constraint %s-%s: negative tolerance", c.A, c.B)
+	}
+	return nil
+}
+
+// SpatialConstraint places a monomedia component on the presentation
+// surface (Figure 1's "spatial synchronization constraints" attribute).
+// Coordinates are in pixels of the client display.
+type SpatialConstraint struct {
+	Monomedia MonomediaID `json:"monomedia"`
+	X         int         `json:"x"`
+	Y         int         `json:"y"`
+	Width     int         `json:"width"`
+	Height    int         `json:"height"`
+}
+
+// Validate checks the constraint's internal consistency.
+func (c SpatialConstraint) Validate() error {
+	if c.Monomedia == "" {
+		return fmt.Errorf("spatial constraint: empty monomedia reference")
+	}
+	if c.X < 0 || c.Y < 0 {
+		return fmt.Errorf("spatial constraint %s: negative origin (%d, %d)", c.Monomedia, c.X, c.Y)
+	}
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("spatial constraint %s: non-positive extent (%d×%d)", c.Monomedia, c.Width, c.Height)
+	}
+	return nil
+}
+
+// StartTimes resolves the temporal constraints of d into a start time for
+// every monomedia component, with unconstrained components starting at zero.
+// Constraints are resolved in order; a constraint whose A component has no
+// resolved start yet anchors it at zero. The playout session uses the result
+// to schedule stream start-up.
+func StartTimes(d Document) map[MonomediaID]time.Duration {
+	starts := make(map[MonomediaID]time.Duration, len(d.Monomedia))
+	for _, m := range d.Monomedia {
+		starts[m.ID] = 0
+	}
+	for _, c := range d.Temporal {
+		base := starts[c.A]
+		switch c.Relation {
+		case Parallel:
+			starts[c.B] = base
+		case Sequential:
+			if a, ok := d.Component(c.A); ok {
+				starts[c.B] = base + a.Duration
+			}
+		case Overlap:
+			starts[c.B] = base + c.Offset
+		}
+	}
+	return starts
+}

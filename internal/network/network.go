@@ -1,0 +1,413 @@
+// Package network simulates the communication substrate that connected the
+// news-on-demand prototype's client and server machines (ATM links with
+// resource reservation in the style of RSVP [Zha 95] / the native-mode ATM
+// stack [Kes 95]). The QoS manager's negotiation step 5 asks "the transport
+// system ... to reserve resources"; this package provides the link/topology
+// model, QoS-aware path finding and per-link bandwidth reservation that the
+// transport facade (package transport) builds on.
+//
+// A network is a directed graph of links, each with a bandwidth capacity,
+// propagation delay, jitter contribution and loss rate. A path is feasible
+// for a requested qos.NetworkQoS when every link has enough spare capacity
+// for the average bit rate, the accumulated jitter stays within the jitter
+// target, and the composed loss probability stays within the loss target.
+//
+// Experiments inject congestion by degrading a link's capacity; existing
+// reservations that no longer fit are reported by Overcommitted and drive
+// the adaptation procedure.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+// NodeID names a network node: a client machine, a server machine or an
+// interior switch.
+type NodeID string
+
+// LinkID names a directed link.
+type LinkID string
+
+// ErrNoPath is returned when no feasible path exists for a request.
+var ErrNoPath = errors.New("network: no feasible path")
+
+// ErrUnknownReservation is returned when releasing an unknown reservation.
+var ErrUnknownReservation = errors.New("network: unknown reservation")
+
+// Link is one directed edge of the topology.
+type Link struct {
+	ID       LinkID
+	From, To NodeID
+	// Capacity is the schedulable bandwidth of the link.
+	Capacity qos.BitRate
+	// Delay is the link's propagation + queueing delay contribution.
+	Delay time.Duration
+	// Jitter is the link's worst-case delay variation contribution.
+	Jitter time.Duration
+	// Loss is the link's packet loss probability.
+	Loss float64
+}
+
+// Validate reports an error for inconsistent link parameters.
+func (l Link) Validate() error {
+	if l.ID == "" {
+		return fmt.Errorf("network: empty link id")
+	}
+	if l.From == "" || l.To == "" || l.From == l.To {
+		return fmt.Errorf("network link %s: bad endpoints (%s → %s)", l.ID, l.From, l.To)
+	}
+	if l.Capacity <= 0 {
+		return fmt.Errorf("network link %s: non-positive capacity", l.ID)
+	}
+	if l.Delay < 0 || l.Jitter < 0 {
+		return fmt.Errorf("network link %s: negative delay or jitter", l.ID)
+	}
+	if l.Loss < 0 || l.Loss >= 1 {
+		return fmt.Errorf("network link %s: loss %g outside [0, 1)", l.ID, l.Loss)
+	}
+	return nil
+}
+
+// Path is an ordered sequence of link ids from a source to a destination.
+type Path []LinkID
+
+// ReservationID names a bandwidth reservation across a path.
+type ReservationID uint64
+
+// Reservation records reserved bandwidth along a path.
+type Reservation struct {
+	ID   ReservationID
+	Path Path
+	Rate qos.BitRate
+}
+
+// Network is the topology plus its reservation state. It is safe for
+// concurrent use.
+type Network struct {
+	mu       sync.Mutex
+	links    map[LinkID]*linkState
+	adjacent map[NodeID][]LinkID
+	nodes    map[NodeID]bool
+	next     ReservationID
+	resv     map[ReservationID]Reservation
+}
+
+type linkState struct {
+	Link
+	reserved    qos.BitRate
+	degradation float64
+}
+
+// New returns an empty network.
+func New() *Network {
+	return &Network{
+		links:    make(map[LinkID]*linkState),
+		adjacent: make(map[NodeID][]LinkID),
+		nodes:    make(map[NodeID]bool),
+		resv:     make(map[ReservationID]Reservation),
+	}
+}
+
+// AddLink installs a directed link. Nodes are created implicitly.
+func (n *Network) AddLink(l Link) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.links[l.ID]; ok {
+		return fmt.Errorf("network: duplicate link id %s", l.ID)
+	}
+	n.links[l.ID] = &linkState{Link: l}
+	n.adjacent[l.From] = append(n.adjacent[l.From], l.ID)
+	n.nodes[l.From] = true
+	n.nodes[l.To] = true
+	return nil
+}
+
+// AddDuplex installs the two directed links of a full-duplex connection,
+// naming them id+":fwd" and id+":rev".
+func (n *Network) AddDuplex(id LinkID, a, b NodeID, capacity qos.BitRate, delay, jitter time.Duration, loss float64) error {
+	fwd := Link{ID: id + ":fwd", From: a, To: b, Capacity: capacity, Delay: delay, Jitter: jitter, Loss: loss}
+	rev := Link{ID: id + ":rev", From: b, To: a, Capacity: capacity, Delay: delay, Jitter: jitter, Loss: loss}
+	if err := n.AddLink(fwd); err != nil {
+		return err
+	}
+	return n.AddLink(rev)
+}
+
+// Nodes returns the sorted node set.
+func (n *Network) Nodes() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Link returns a link's static description.
+func (n *Network) Link(id LinkID) (Link, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ls, ok := n.links[id]
+	if !ok {
+		return Link{}, false
+	}
+	return ls.Link, true
+}
+
+// Available returns a link's spare capacity under current reservations and
+// degradation.
+func (n *Network) Available(id LinkID) (qos.BitRate, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ls, ok := n.links[id]
+	if !ok {
+		return 0, false
+	}
+	return availableLocked(ls), true
+}
+
+func availableLocked(ls *linkState) qos.BitRate {
+	eff := qos.BitRate(float64(ls.Capacity) * (1 - ls.degradation))
+	if ls.reserved >= eff {
+		return 0
+	}
+	return eff - ls.reserved
+}
+
+// PathMetrics aggregates the QoS a path delivers.
+type PathMetrics struct {
+	Hops   int
+	Delay  time.Duration
+	Jitter time.Duration
+	Loss   float64
+	// Bottleneck is the smallest spare capacity along the path.
+	Bottleneck qos.BitRate
+}
+
+// metricsLocked computes path metrics; caller holds the lock.
+func (n *Network) metricsLocked(p Path) (PathMetrics, error) {
+	m := PathMetrics{Bottleneck: 1<<62 - 1}
+	keep := 1.0
+	for _, id := range p {
+		ls, ok := n.links[id]
+		if !ok {
+			return PathMetrics{}, fmt.Errorf("network: unknown link %s in path", id)
+		}
+		m.Hops++
+		m.Delay += ls.Delay
+		m.Jitter += ls.Jitter
+		keep *= 1 - ls.Loss
+		if a := availableLocked(ls); a < m.Bottleneck {
+			m.Bottleneck = a
+		}
+	}
+	m.Loss = 1 - keep
+	return m, nil
+}
+
+// Metrics returns the aggregate QoS of a path.
+func (n *Network) Metrics(p Path) (PathMetrics, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.metricsLocked(p)
+}
+
+// feasibleLocked reports whether metrics m support the request q.
+func feasibleLocked(m PathMetrics, q qos.NetworkQoS) bool {
+	if m.Bottleneck < q.AvgBitRate {
+		return false
+	}
+	if q.Jitter > 0 && m.Jitter > q.Jitter {
+		return false
+	}
+	if q.LossRate > 0 && m.Loss > q.LossRate {
+		return false
+	}
+	if q.Delay > 0 && m.Delay > q.Delay {
+		return false
+	}
+	return true
+}
+
+// FindPaths returns up to k loop-free paths from src to dst that are
+// feasible for the request, ordered best-first: fewest hops, then largest
+// bottleneck capacity. It returns ErrNoPath when none exists.
+func (n *Network) FindPaths(src, dst NodeID, q qos.NetworkQoS, k int) ([]Path, error) {
+	if k <= 0 {
+		k = 1
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.nodes[src] || !n.nodes[dst] {
+		return nil, fmt.Errorf("%w: unknown endpoint %s or %s", ErrNoPath, src, dst)
+	}
+
+	type cand struct {
+		path    Path
+		metrics PathMetrics
+	}
+	var found []cand
+	// Bounded DFS over loop-free paths. Topologies here are small (tens
+	// of nodes), so exhaustive enumeration with a depth bound is fine.
+	const maxHops = 8
+	visited := map[NodeID]bool{src: true}
+	var walk func(at NodeID, path Path)
+	walk = func(at NodeID, path Path) {
+		if len(found) >= 4*k && len(path) > 0 {
+			// Enough candidates to choose the best k from.
+			return
+		}
+		if at == dst {
+			m, err := n.metricsLocked(path)
+			if err == nil && feasibleLocked(m, q) {
+				cp := make(Path, len(path))
+				copy(cp, path)
+				found = append(found, cand{path: cp, metrics: m})
+			}
+			return
+		}
+		if len(path) >= maxHops {
+			return
+		}
+		for _, lid := range n.adjacent[at] {
+			ls := n.links[lid]
+			if visited[ls.To] {
+				continue
+			}
+			// Prune links that cannot carry the rate at all.
+			if availableLocked(ls) < q.AvgBitRate {
+				continue
+			}
+			visited[ls.To] = true
+			walk(ls.To, append(path, lid))
+			visited[ls.To] = false
+		}
+	}
+	walk(src, nil)
+	if len(found) == 0 {
+		return nil, fmt.Errorf("%w: %s → %s for %v", ErrNoPath, src, dst, q)
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].metrics.Hops != found[j].metrics.Hops {
+			return found[i].metrics.Hops < found[j].metrics.Hops
+		}
+		return found[i].metrics.Bottleneck > found[j].metrics.Bottleneck
+	})
+	if len(found) > k {
+		found = found[:k]
+	}
+	out := make([]Path, len(found))
+	for i, c := range found {
+		out[i] = c.path
+	}
+	return out, nil
+}
+
+// Reserve reserves the request's average bit rate on every link of the
+// path. It fails atomically: either every link is charged or none.
+func (n *Network) Reserve(p Path, q qos.NetworkQoS) (Reservation, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, err := n.metricsLocked(p)
+	if err != nil {
+		return Reservation{}, err
+	}
+	if !feasibleLocked(m, q) {
+		return Reservation{}, fmt.Errorf("%w: path no longer feasible for %v", ErrNoPath, q)
+	}
+	for _, id := range p {
+		n.links[id].reserved += q.AvgBitRate
+	}
+	n.next++
+	r := Reservation{ID: n.next, Path: append(Path{}, p...), Rate: q.AvgBitRate}
+	n.resv[r.ID] = r
+	return r, nil
+}
+
+// Release frees a reservation's bandwidth on every link of its path.
+func (n *Network) Release(id ReservationID) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.resv[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownReservation, id)
+	}
+	for _, lid := range r.Path {
+		if ls, ok := n.links[lid]; ok {
+			ls.reserved -= r.Rate
+			if ls.reserved < 0 {
+				ls.reserved = 0
+			}
+		}
+	}
+	delete(n.resv, id)
+	return nil
+}
+
+// ActiveReservations returns the number of live reservations.
+func (n *Network) ActiveReservations() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.resv)
+}
+
+// SetLinkDegradation shrinks a link's effective capacity by the fraction in
+// [0, 1); experiments use it to inject network congestion.
+func (n *Network) SetLinkDegradation(id LinkID, fraction float64) error {
+	if fraction < 0 || fraction >= 1 {
+		return fmt.Errorf("network: degradation fraction %g outside [0, 1)", fraction)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ls, ok := n.links[id]
+	if !ok {
+		return fmt.Errorf("network: unknown link %s", id)
+	}
+	ls.degradation = fraction
+	return nil
+}
+
+// Overcommitted returns the reservations crossing any link whose effective
+// capacity no longer covers its reserved bandwidth, largest rate first.
+// The QoS manager's adaptation procedure treats these as QoS violations.
+func (n *Network) Overcommitted() []Reservation {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	over := make(map[LinkID]qos.BitRate) // excess per link
+	for id, ls := range n.links {
+		eff := qos.BitRate(float64(ls.Capacity) * (1 - ls.degradation))
+		if ls.reserved > eff {
+			over[id] = ls.reserved - eff
+		}
+	}
+	if len(over) == 0 {
+		return nil
+	}
+	var out []Reservation
+	for _, r := range n.resv {
+		for _, lid := range r.Path {
+			if _, bad := over[lid]; bad {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rate != out[j].Rate {
+			return out[i].Rate > out[j].Rate
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,79 @@
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"qosneg/internal/qos"
+)
+
+// This file provides topology builders shared by tests, examples and the
+// experiment harness.
+
+// StarSpec parameterizes BuildStar.
+type StarSpec struct {
+	// Clients and Servers are attached to a central switch.
+	Clients []NodeID
+	Servers []NodeID
+	// AccessCapacity is the client access-link capacity (default 10 Mbit/s).
+	AccessCapacity qos.BitRate
+	// BackboneCapacity is the server-side link capacity (default 100 Mbit/s).
+	BackboneCapacity qos.BitRate
+}
+
+// BuildStar builds the canonical evaluation topology: every client and
+// server hangs off one switch. Client access links default to 10 Mbit/s
+// (mid-90s campus Ethernet); server backbone links to 100 Mbit/s.
+func BuildStar(spec StarSpec) (*Network, error) {
+	if spec.AccessCapacity == 0 {
+		spec.AccessCapacity = 10 * qos.MBitPerSecond
+	}
+	if spec.BackboneCapacity == 0 {
+		spec.BackboneCapacity = 100 * qos.MBitPerSecond
+	}
+	n := New()
+	const hub = NodeID("switch")
+	for _, c := range spec.Clients {
+		id := LinkID(fmt.Sprintf("access-%s", c))
+		if err := n.AddDuplex(id, c, hub, spec.AccessCapacity, 2*time.Millisecond, time.Millisecond, 0.0005); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range spec.Servers {
+		id := LinkID(fmt.Sprintf("backbone-%s", s))
+		if err := n.AddDuplex(id, hub, s, spec.BackboneCapacity, time.Millisecond, time.Millisecond, 0.0002); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// BuildDualPath builds a topology with two disjoint routes between a client
+// and a server — a primary high-capacity route and a backup lower-capacity
+// route — used by the adaptation experiments: degrading the primary route
+// must push sessions onto the backup.
+//
+//	client ── sw1 ══ primary ══ sw2 ── server
+//	           ╲═══ backup ═══╱
+func BuildDualPath(client, server NodeID, primary, backup qos.BitRate) (*Network, error) {
+	n := New()
+	steps := []struct {
+		id     LinkID
+		a, b   NodeID
+		cap    qos.BitRate
+		delay  time.Duration
+		jitter time.Duration
+	}{
+		{"access", client, "sw1", 100 * qos.MBitPerSecond, time.Millisecond, time.Millisecond},
+		{"primary", "sw1", "sw2", primary, 2 * time.Millisecond, 2 * time.Millisecond},
+		{"backup-a", "sw1", "sw3", backup, 3 * time.Millisecond, 2 * time.Millisecond},
+		{"backup-b", "sw3", "sw2", backup, 3 * time.Millisecond, 2 * time.Millisecond},
+		{"egress", "sw2", server, 100 * qos.MBitPerSecond, time.Millisecond, time.Millisecond},
+	}
+	for _, s := range steps {
+		if err := n.AddDuplex(s.id, s.a, s.b, s.cap, s.delay, s.jitter, 0.0003); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}

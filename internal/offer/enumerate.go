@@ -1,0 +1,104 @@
+package offer
+
+import (
+	"errors"
+	"fmt"
+
+	"qosneg/internal/client"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+)
+
+// ErrTooManyOffers is returned when the cartesian product of variants
+// exceeds the enumeration limit.
+var ErrTooManyOffers = errors.New("offer: too many feasible system offers")
+
+// NoVariantError reports that a monomedia component has no variant the
+// client machine can decode: the condition behind FAILEDWITHOUTOFFER
+// ("no possible instantiation of the functional configuration to a
+// physical configuration exists, e.g. the client machine does not support
+// a suitable decoder").
+type NoVariantError struct {
+	Monomedia media.MonomediaID
+}
+
+func (e *NoVariantError) Error() string {
+	return fmt.Sprintf("offer: no decodable variant for monomedia %s", e.Monomedia)
+}
+
+// EnumerateOptions tunes Enumerate.
+type EnumerateOptions struct {
+	// MaxOffers bounds the cartesian product; 0 selects 1<<20.
+	MaxOffers int
+	// Guarantee selects the service guarantee priced into each offer.
+	Guarantee cost.Guarantee
+}
+
+// Enumerate produces every feasible system offer for the document on the
+// given client machine: negotiation step 2 filters each monomedia's
+// variants down to those the machine can decode and render, and the
+// cartesian product of the survivors — one variant per monomedia — forms
+// the feasible offers, each priced with the Section 7 cost model.
+//
+// It returns a *NoVariantError when some monomedia has no decodable
+// variant, and ErrTooManyOffers when the product exceeds the limit.
+func Enumerate(doc media.Document, m client.Machine, pricing cost.Pricing, opts EnumerateOptions) ([]SystemOffer, error) {
+	maxOffers := opts.MaxOffers
+	if maxOffers <= 0 {
+		maxOffers = 1 << 20
+	}
+
+	// Step 2: static compatibility checking, per monomedia. Scalable
+	// variants first expand into their decodable temporal layers (the
+	// INRS scalable decoder), each of which is an independent candidate.
+	decodable := make([][]media.Variant, len(doc.Monomedia))
+	total := 1
+	for i, mono := range doc.Monomedia {
+		for _, v := range mono.Variants {
+			for _, layer := range media.ScalableLayers(v) {
+				if m.CanDecode(layer) {
+					decodable[i] = append(decodable[i], layer)
+				}
+			}
+		}
+		if len(decodable[i]) == 0 {
+			return nil, &NoVariantError{Monomedia: mono.ID}
+		}
+		if total > maxOffers/len(decodable[i]) {
+			return nil, fmt.Errorf("%w: product exceeds %d", ErrTooManyOffers, maxOffers)
+		}
+		total *= len(decodable[i])
+	}
+
+	// Cartesian product, lexicographic in variant order so the result is
+	// deterministic.
+	offers := make([]SystemOffer, 0, total)
+	idx := make([]int, len(doc.Monomedia))
+	for {
+		o := SystemOffer{Document: doc.ID, Choices: make([]Choice, len(doc.Monomedia))}
+		items := make([]cost.Item, 0, len(doc.Monomedia))
+		for i, mono := range doc.Monomedia {
+			v := decodable[i][idx[i]]
+			o.Choices[i] = Choice{Monomedia: mono.ID, Variant: v}
+			if mono.Kind.Continuous() {
+				items = append(items, cost.Item{Rate: v.NetworkQoS().AvgBitRate, Duration: mono.Duration})
+			}
+		}
+		o.Cost = pricing.Document(cost.Money(doc.CopyrightFee), opts.Guarantee, items)
+		offers = append(offers, o)
+
+		// Advance the multi-index.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(decodable[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return offers, nil
+}

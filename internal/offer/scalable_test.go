@@ -1,0 +1,84 @@
+package offer
+
+import (
+	"testing"
+	"time"
+
+	"qosneg/internal/client"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/qos"
+)
+
+// scalableDoc has a single scalable 60 fps video variant.
+func scalableDoc() media.Document {
+	v := media.VideoVariant("sv1", "server-1", media.ScalableMPEG,
+		qos.VideoQoS{Color: qos.Color, FrameRate: 60, Resolution: qos.TVResolution},
+		time.Minute)
+	return media.Document{
+		ID:    "scalable-1",
+		Title: "Scalable",
+		Monomedia: []media.Monomedia{{
+			ID: "video", Kind: qos.Video, Duration: time.Minute,
+			Variants: []media.Variant{v},
+		}},
+	}
+}
+
+func TestEnumerateExpandsScalableLayers(t *testing.T) {
+	m := client.Workstation("c1", "n1") // 60 fps capable, all decoders
+	offers, err := Enumerate(scalableDoc(), m, cost.DefaultPricing(), EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One stored variant → three decodable layers → three offers.
+	if len(offers) != 3 {
+		t.Fatalf("offers = %d, want 3", len(offers))
+	}
+	rates := map[int]bool{}
+	for _, o := range offers {
+		rates[o.Choices[0].Variant.QoS.Video.FrameRate] = true
+	}
+	for _, want := range []int{60, 30, 15} {
+		if !rates[want] {
+			t.Errorf("missing %d fps layer (have %v)", want, rates)
+		}
+	}
+}
+
+func TestScalableLayersServeWeakClients(t *testing.T) {
+	// A terminal sustains only 25 fps and would reject the 60 fps stream
+	// outright; the scalable layers give it the 15 fps rendition.
+	m := client.Terminal("c1", "n1")
+	m.Decoders = append(m.Decoders, media.ScalableMPEG)
+	offers, err := Enumerate(scalableDoc(), m, cost.DefaultPricing(), EnumerateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 1 {
+		t.Fatalf("offers = %d, want 1 (only the 15 fps layer)", len(offers))
+	}
+	if got := offers[0].Choices[0].Variant.QoS.Video.FrameRate; got != 15 {
+		t.Errorf("layer rate = %d", got)
+	}
+	// Without the scalable decoder nothing is feasible.
+	m.Decoders = []media.Format{media.MPEG1}
+	if _, err := Enumerate(scalableDoc(), m, cost.DefaultPricing(), EnumerateOptions{}); err == nil {
+		t.Error("undecodable scalable variant accepted")
+	}
+}
+
+func TestScalableLayersPricedByRate(t *testing.T) {
+	m := client.Workstation("c1", "n1")
+	offers, _ := Enumerate(scalableDoc(), m, cost.DefaultPricing(), EnumerateOptions{})
+	byRate := map[int]cost.Money{}
+	for _, o := range offers {
+		byRate[o.Choices[0].Variant.QoS.Video.FrameRate] = o.Total()
+	}
+	if byRate[15] > byRate[60] {
+		t.Errorf("15 fps layer (%v) costs more than 60 fps (%v)", byRate[15], byRate[60])
+	}
+	if byRate[15] == byRate[60] && byRate[30] == byRate[60] {
+		t.Log("all layers fall in the same throughput class; pricing identical")
+	}
+}

@@ -1,0 +1,107 @@
+package offer
+
+import "container/heap"
+
+// Orderer is a classifier that can compare two ranked offers directly; all
+// built-in classifiers implement it. Stream uses it to yield offers
+// best-first without sorting the whole set — the commitment step usually
+// stops at the first or second offer, so for large variant products (E9)
+// the full O(n log n) sort is wasted work.
+type Orderer interface {
+	Classifier
+	// Less reports whether a ranks strictly better than b.
+	Less(a, b Ranked) bool
+}
+
+// snsLess is the SNS-primary ordering.
+func snsLess(a, b Ranked) bool {
+	if a.Status != b.Status {
+		return a.Status < b.Status
+	}
+	if a.OIF != b.OIF {
+		return a.OIF > b.OIF
+	}
+	if a.Total() != b.Total() {
+		return a.Total() < b.Total()
+	}
+	return a.Key() < b.Key()
+}
+
+// Less implements Orderer.
+func (SNSPrimary) Less(a, b Ranked) bool { return snsLess(a, b) }
+
+// Less implements Orderer.
+func (OIFOnly) Less(a, b Ranked) bool {
+	if a.OIF != b.OIF {
+		return a.OIF > b.OIF
+	}
+	if a.Total() != b.Total() {
+		return a.Total() < b.Total()
+	}
+	return a.Key() < b.Key()
+}
+
+// Less implements Orderer.
+func (CostOnly) Less(a, b Ranked) bool {
+	if a.Total() != b.Total() {
+		return a.Total() < b.Total()
+	}
+	return a.Key() < b.Key()
+}
+
+// Less implements Orderer.
+func (QoSOnly) Less(a, b Ranked) bool {
+	if a.QoSImportance != b.QoSImportance {
+		return a.QoSImportance > b.QoSImportance
+	}
+	if a.Total() != b.Total() {
+		return a.Total() < b.Total()
+	}
+	return a.Key() < b.Key()
+}
+
+// Stream yields ranked offers best-first, lazily: construction is O(n)
+// (heapify), each Next is O(log n). Draining the stream costs the same as a
+// full sort; stopping after k offers costs O(n + k log n).
+type Stream struct {
+	h offerHeap
+}
+
+// NewStream builds a best-first stream over the offers under the orderer's
+// ordering.
+func NewStream(offers []Ranked, o Orderer) *Stream {
+	items := make([]Ranked, len(offers))
+	copy(items, offers)
+	s := &Stream{h: offerHeap{items: items, less: o.Less}}
+	heap.Init(&s.h)
+	return s
+}
+
+// Next returns the best remaining offer, and false when the stream is
+// drained.
+func (s *Stream) Next() (Ranked, bool) {
+	if s.h.Len() == 0 {
+		return Ranked{}, false
+	}
+	return heap.Pop(&s.h).(Ranked), true
+}
+
+// Remaining returns how many offers have not been yielded yet.
+func (s *Stream) Remaining() int { return s.h.Len() }
+
+type offerHeap struct {
+	items []Ranked
+	less  func(a, b Ranked) bool
+}
+
+func (h offerHeap) Len() int           { return len(h.items) }
+func (h offerHeap) Less(i, j int) bool { return h.less(h.items[i], h.items[j]) }
+func (h offerHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *offerHeap) Push(x any)        { h.items = append(h.items, x.(Ranked)) }
+func (h *offerHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}

@@ -1,0 +1,109 @@
+package offer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/qos"
+)
+
+func TestStreamMatchesSortOrder(t *testing.T) {
+	u := paperProfile()
+	for _, o := range []Orderer{SNSPrimary{}, OIFOnly{}, CostOnly{}, QoSOnly{}} {
+		ranked := Rank(paperOffers(), u)
+		sorted := make([]Ranked, len(ranked))
+		copy(sorted, ranked)
+		o.Sort(sorted)
+
+		s := NewStream(ranked, o)
+		for i := range sorted {
+			got, ok := s.Next()
+			if !ok {
+				t.Fatalf("%s: stream drained at %d", o.Name(), i)
+			}
+			if got.Key() != sorted[i].Key() {
+				t.Fatalf("%s: stream[%d] = %s, sort = %s", o.Name(), i, got.Key(), sorted[i].Key())
+			}
+		}
+		if _, ok := s.Next(); ok {
+			t.Errorf("%s: stream yielded beyond its input", o.Name())
+		}
+	}
+}
+
+func TestStreamRemainingAndEmpty(t *testing.T) {
+	s := NewStream(nil, SNSPrimary{})
+	if s.Remaining() != 0 {
+		t.Errorf("Remaining = %d", s.Remaining())
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("empty stream yielded")
+	}
+	u := paperProfile()
+	s = NewStream(Rank(paperOffers(), u), SNSPrimary{})
+	if s.Remaining() != 4 {
+		t.Errorf("Remaining = %d", s.Remaining())
+	}
+	s.Next()
+	if s.Remaining() != 3 {
+		t.Errorf("Remaining after Next = %d", s.Remaining())
+	}
+}
+
+func TestStreamDoesNotMutateInput(t *testing.T) {
+	u := paperProfile()
+	ranked := Rank(paperOffers(), u)
+	before := make([]string, len(ranked))
+	for i, r := range ranked {
+		before[i] = r.Key()
+	}
+	s := NewStream(ranked, SNSPrimary{})
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	for i, r := range ranked {
+		if r.Key() != before[i] {
+			t.Fatal("NewStream mutated its input slice")
+		}
+	}
+}
+
+// Property: for random offer sets, the stream yields exactly the sorted
+// order under SNSPrimary.
+func TestStreamOrderProperty(t *testing.T) {
+	u := paperProfile()
+	colors := qos.ColorQualities()
+	f := func(seed uint8, prices []uint16) bool {
+		if len(prices) > 16 {
+			prices = prices[:16]
+		}
+		var offers []SystemOffer
+		for i, pr := range prices {
+			v := qos.VideoQoS{
+				Color:      colors[(int(seed)+i)%4],
+				FrameRate:  1 + (i*13)%59,
+				Resolution: 10 + (i*97)%1900,
+			}
+			offers = append(offers, videoOffer(media.VariantID(rune('a'+i%26))+media.VariantID(rune('0'+i/26)), v, cost.Money(pr)))
+		}
+		ranked := Rank(offers, u)
+		sorted := make([]Ranked, len(ranked))
+		copy(sorted, ranked)
+		SNSPrimary{}.Sort(sorted)
+		s := NewStream(ranked, SNSPrimary{})
+		for i := range sorted {
+			got, ok := s.Next()
+			if !ok || got.Key() != sorted[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

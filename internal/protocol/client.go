@@ -1,0 +1,236 @@
+package protocol
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"qosneg/internal/client"
+	"qosneg/internal/core"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/profile"
+)
+
+// Client is the profile-manager side of the wire protocol: it connects to a
+// negotiation daemon and performs negotiate/confirm/reject rounds. It is
+// safe for concurrent use; requests on one connection are serialized.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// Dial connects to a negotiation daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("protocol: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("protocol: receive: %w", err)
+	}
+	if resp.Type == MsgError {
+		return resp, fmt.Errorf("protocol: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// NegotiationResult is the client-side view of a negotiation outcome.
+type NegotiationResult struct {
+	Status       core.NegotiationStatus
+	Offer        *profile.MMProfile
+	Session      core.SessionID
+	Cost         cost.Money
+	ChoicePeriod time.Duration
+	Violations   []string
+	Reason       string
+}
+
+// Negotiate runs the negotiation procedure on the daemon.
+func (c *Client) Negotiate(mach client.Machine, doc media.DocumentID, u profile.UserProfile) (NegotiationResult, error) {
+	resp, err := c.roundTrip(Request{
+		Type:     MsgNegotiate,
+		Machine:  &mach,
+		Document: doc,
+		Profile:  &u,
+	})
+	if err != nil {
+		return NegotiationResult{}, err
+	}
+	status, ok := ParseStatus(resp.Status)
+	if !ok {
+		return NegotiationResult{}, fmt.Errorf("protocol: unknown status %q", resp.Status)
+	}
+	return NegotiationResult{
+		Status:       status,
+		Offer:        resp.Offer,
+		Session:      resp.Session,
+		Cost:         resp.Cost,
+		ChoicePeriod: time.Duration(resp.ChoicePeriodMs) * time.Millisecond,
+		Violations:   resp.Violations,
+		Reason:       resp.Reason,
+	}, nil
+}
+
+// Renegotiate re-runs the negotiation for a reserved session with a
+// modified profile.
+func (c *Client) Renegotiate(id core.SessionID, u profile.UserProfile) (NegotiationResult, error) {
+	resp, err := c.roundTrip(Request{Type: MsgRenegotiate, Session: id, Profile: &u})
+	if err != nil {
+		return NegotiationResult{}, err
+	}
+	status, ok := ParseStatus(resp.Status)
+	if !ok {
+		return NegotiationResult{}, fmt.Errorf("protocol: unknown status %q", resp.Status)
+	}
+	return NegotiationResult{
+		Status:       status,
+		Offer:        resp.Offer,
+		Session:      resp.Session,
+		Cost:         resp.Cost,
+		ChoicePeriod: time.Duration(resp.ChoicePeriodMs) * time.Millisecond,
+		Violations:   resp.Violations,
+		Reason:       resp.Reason,
+	}, nil
+}
+
+// Confirm accepts a reserved offer.
+func (c *Client) Confirm(id core.SessionID) error {
+	_, err := c.roundTrip(Request{Type: MsgConfirm, Session: id})
+	return err
+}
+
+// Reject declines a reserved offer, releasing its resources.
+func (c *Client) Reject(id core.SessionID) error {
+	_, err := c.roundTrip(Request{Type: MsgReject, Session: id})
+	return err
+}
+
+// SessionInfo is the client-side view of a session's state.
+type SessionInfo struct {
+	Session     core.SessionID
+	State       string
+	Position    time.Duration
+	Transitions int
+	Cost        cost.Money
+}
+
+// Session queries a session's state.
+func (c *Client) Session(id core.SessionID) (SessionInfo, error) {
+	resp, err := c.roundTrip(Request{Type: MsgSession, Session: id})
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return SessionInfo{
+		Session:     resp.Session,
+		State:       resp.State,
+		Position:    time.Duration(resp.PositionMs) * time.Millisecond,
+		Transitions: resp.Transitions,
+		Cost:        resp.Cost,
+	}, nil
+}
+
+// Watch streams session updates over this connection until the session
+// completes or aborts, calling fn for every state or transition change. The
+// connection is busy for the duration; use a dedicated client. A negative
+// or zero interval selects the server default.
+func (c *Client) Watch(id core.SessionID, interval time.Duration, fn func(SessionInfo)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(Request{Type: MsgWatch, Session: id, IntervalMs: interval.Milliseconds()}); err != nil {
+		return fmt.Errorf("protocol: send: %w", err)
+	}
+	for {
+		var resp Response
+		if err := c.dec.Decode(&resp); err != nil {
+			return fmt.Errorf("protocol: receive: %w", err)
+		}
+		if resp.Type == MsgError {
+			return fmt.Errorf("protocol: server error: %s", resp.Error)
+		}
+		fn(SessionInfo{
+			Session:     resp.Session,
+			State:       resp.State,
+			Position:    time.Duration(resp.PositionMs) * time.Millisecond,
+			Transitions: resp.Transitions,
+			Cost:        resp.Cost,
+		})
+		if resp.Final {
+			return nil
+		}
+	}
+}
+
+// ListDocuments lists the daemon's catalog, optionally filtered by a title
+// substring.
+func (c *Client) ListDocuments(query string) ([]DocumentSummary, error) {
+	resp, err := c.roundTrip(Request{Type: MsgListDocuments, Query: query})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Documents, nil
+}
+
+// ListSessions lists the daemon's sessions, ordered by id.
+func (c *Client) ListSessions() ([]SessionSummary, error) {
+	resp, err := c.roundTrip(Request{Type: MsgListSessions})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Sessions, nil
+}
+
+// Invoice fetches a session's itemized bill.
+func (c *Client) Invoice(id core.SessionID) (cost.Invoice, error) {
+	resp, err := c.roundTrip(Request{Type: MsgInvoice, Session: id})
+	if err != nil {
+		return cost.Invoice{}, err
+	}
+	if resp.Invoice == nil {
+		return cost.Invoice{}, fmt.Errorf("protocol: empty invoice response")
+	}
+	return *resp.Invoice, nil
+}
+
+// ServerLoads fetches the media servers' current load.
+func (c *Client) ServerLoads() ([]core.ServerLoad, error) {
+	resp, err := c.roundTrip(Request{Type: MsgServerLoads})
+	if err != nil {
+		return nil, err
+	}
+	return resp.ServerLoads, nil
+}
+
+// Stats fetches the daemon's outcome counters.
+func (c *Client) Stats() (core.Stats, error) {
+	resp, err := c.roundTrip(Request{Type: MsgStats})
+	if err != nil {
+		return core.Stats{}, err
+	}
+	if resp.Stats == nil {
+		return core.Stats{}, fmt.Errorf("protocol: empty stats response")
+	}
+	return *resp.Stats, nil
+}

@@ -1,0 +1,68 @@
+package protocol
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"qosneg/internal/testbed"
+)
+
+// FuzzServerInput throws arbitrary bytes at a live protocol server: every
+// line must produce either a JSON response or a clean connection close —
+// never a hang or a crash.
+func FuzzServerInput(f *testing.F) {
+	bed := testbed.MustNew(testbed.Spec{})
+	bed.AddNewsArticle("news-1", "T", time.Minute)
+	srv := NewServer(bed.Manager, bed.Registry)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		f.Fatal(err)
+	}
+	go srv.Serve(l)
+	f.Cleanup(func() {
+		l.Close()
+		srv.Close()
+	})
+	addr := l.Addr().String()
+
+	f.Add(`{"type":"list-documents"}`)
+	f.Add(`{"type":"negotiate"}`)
+	f.Add(`{"type":"confirm","session":42}`)
+	f.Add(`{"type":"dance"}`)
+	f.Add(`not json at all`)
+	f.Add(`{"type":"negotiate","machine":{"id":"x"},"document":"news-1","profile":{"name":"p"}}`)
+	f.Add(`{"type":"watch","session":9999}`)
+	f.Add(``)
+	f.Add(`{"type":1234}`)
+
+	f.Fuzz(func(t *testing.T, line string) {
+		if strings.ContainsAny(line, "\n\r") {
+			t.Skip("single-line inputs only")
+		}
+		if strings.TrimSpace(line) == "" {
+			// Whitespace is not a JSON value; the streaming decoder
+			// legitimately keeps waiting for one.
+			t.Skip("whitespace-only input")
+		}
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			t.Skip("dial failed")
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			return
+		}
+		// Either a response line arrives or the server closes; both are
+		// acceptable. A deadline error means the server hung.
+		r := bufio.NewReader(conn)
+		if _, err := r.ReadString('\n'); err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatalf("server hung on input %q", line)
+			}
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"qosneg/internal/core"
+	"qosneg/internal/testbed"
+)
+
+func newPlayoutHarness(t *testing.T, docDuration time.Duration) (*harness, *Playout) {
+	t.Helper()
+	bed := testbed.MustNew(testbed.Spec{})
+	if _, err := bed.AddNewsArticle("news-1", "Short clip", docDuration); err != nil {
+		t.Fatal(err)
+	}
+	h := serveHarness(t, bed)
+	p := AttachPlayout(h.server, bed.Manager, 20*time.Millisecond)
+	t.Cleanup(p.Stop)
+	return h, p
+}
+
+func TestDaemonPlayoutCompletesSession(t *testing.T) {
+	h, p := newPlayoutHarness(t, 200*time.Millisecond)
+	c := h.dial(t)
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil || !res.Status.Reserved() {
+		t.Fatalf("negotiate: %v %v", res.Status, err)
+	}
+	if err := c.Confirm(res.Session); err != nil {
+		t.Fatal(err)
+	}
+	// The daemon drives the session in real time; the 200 ms document
+	// must complete within a couple of seconds.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := c.Session(res.Session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == core.Completed.String() {
+			if info.Position < 200*time.Millisecond {
+				t.Errorf("completed at position %v", info.Position)
+			}
+			if h.bed.Network.ActiveReservations() != 0 {
+				t.Error("completed session left reservations")
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("session never completed (playouts active: %d)", p.Active())
+}
+
+func TestDaemonPlayoutPositionAdvances(t *testing.T) {
+	h, _ := newPlayoutHarness(t, 10*time.Second)
+	c := h.dial(t)
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Confirm(res.Session); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		info, err := c.Session(res.Session)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Position > 0 && info.State == "playing" {
+			return // live progress observed
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("position never advanced")
+}
+
+func TestPlayoutStopIsClean(t *testing.T) {
+	h, p := newPlayoutHarness(t, time.Hour) // will not finish on its own
+	c := h.dial(t)
+	res, _ := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	c.Confirm(res.Session)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && p.Active() == 0 {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if p.Active() != 1 {
+		t.Fatalf("active = %d", p.Active())
+	}
+	p.Stop()
+	if p.Active() != 0 {
+		t.Errorf("active after stop = %d", p.Active())
+	}
+	// The session stays playing (daemon shutdown, not user action).
+	info, err := c.Session(res.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "playing" {
+		t.Errorf("state = %s", info.State)
+	}
+}

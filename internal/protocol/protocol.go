@@ -1,0 +1,163 @@
+// Package protocol implements the negotiation wire protocol between client
+// machines and the QoS manager: the distributed half of the prototype, in
+// which the profile manager on the user's workstation talks to the QoS
+// manager over the network. Messages are newline-delimited JSON over TCP.
+//
+// The protocol carries the full negotiation flow of Section 4: a negotiate
+// request (client machine description + document + user profile), the
+// negotiation result (status, user offer, reserved session), and the
+// confirmation round of step 6 — with the server enforcing the
+// choicePeriod: a reserved session that is neither confirmed nor rejected
+// within its choice period is aborted server-side, exactly as the
+// information window's timer does in the GUI (Section 8).
+package protocol
+
+import (
+	"qosneg/internal/client"
+	"qosneg/internal/core"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/profile"
+)
+
+// MessageType discriminates requests and responses.
+type MessageType string
+
+// Request types.
+const (
+	// MsgNegotiate runs the negotiation procedure.
+	MsgNegotiate MessageType = "negotiate"
+	// MsgConfirm accepts a reserved offer (step 6).
+	MsgConfirm MessageType = "confirm"
+	// MsgReject declines a reserved offer; resources are released.
+	MsgReject MessageType = "reject"
+	// MsgRenegotiate re-runs the procedure for a reserved session with a
+	// modified profile (Section 8's "modify the offer and then push OK").
+	MsgRenegotiate MessageType = "renegotiate"
+	// MsgSession queries a session's state.
+	MsgSession MessageType = "session"
+	// MsgListDocuments lists or searches the document catalog.
+	MsgListDocuments MessageType = "list-documents"
+	// MsgStats fetches the QoS manager's outcome counters.
+	MsgStats MessageType = "stats"
+	// MsgListSessions lists the daemon's sessions and their states.
+	MsgListSessions MessageType = "list-sessions"
+	// MsgInvoice fetches a session's itemized bill.
+	MsgInvoice MessageType = "invoice"
+	// MsgServerLoads fetches the media servers' current load.
+	MsgServerLoads MessageType = "server-loads"
+	// MsgWatch streams MsgSessionInfo updates for one session until it
+	// reaches a terminal state: the notification channel the profile
+	// manager uses to follow the delivery (and to learn about automatic
+	// adaptations) without polling. Use a dedicated connection; the
+	// stream occupies it.
+	MsgWatch MessageType = "watch"
+)
+
+// Response types.
+const (
+	// MsgResult answers MsgNegotiate.
+	MsgResult MessageType = "result"
+	// MsgOK answers MsgConfirm / MsgReject.
+	MsgOK MessageType = "ok"
+	// MsgSessionInfo answers MsgSession.
+	MsgSessionInfo MessageType = "session-info"
+	// MsgDocuments answers MsgListDocuments.
+	MsgDocuments MessageType = "documents"
+	// MsgStatsInfo answers MsgStats.
+	MsgStatsInfo MessageType = "stats-info"
+	// MsgSessions answers MsgListSessions.
+	MsgSessions MessageType = "sessions"
+	// MsgInvoiceInfo answers MsgInvoice.
+	MsgInvoiceInfo MessageType = "invoice-info"
+	// MsgServerLoadsInfo answers MsgServerLoads.
+	MsgServerLoadsInfo MessageType = "server-loads-info"
+	// MsgError reports a request failure.
+	MsgError MessageType = "error"
+)
+
+// Request is the client→server envelope.
+type Request struct {
+	Type MessageType `json:"type"`
+	// Machine describes the requesting client machine (MsgNegotiate).
+	Machine *client.Machine `json:"machine,omitempty"`
+	// Document is the requested document (MsgNegotiate).
+	Document media.DocumentID `json:"document,omitempty"`
+	// Profile is the selected user profile (MsgNegotiate, MsgRenegotiate).
+	Profile *profile.UserProfile `json:"profile,omitempty"`
+	// Session targets MsgConfirm, MsgReject, MsgRenegotiate, MsgSession
+	// and MsgWatch.
+	Session core.SessionID `json:"session,omitempty"`
+	// Query filters MsgListDocuments by title substring.
+	Query string `json:"query,omitempty"`
+	// IntervalMs is the MsgWatch sampling interval (default 200 ms).
+	IntervalMs int64 `json:"intervalMs,omitempty"`
+}
+
+// DocumentSummary is one catalog row of MsgDocuments.
+type DocumentSummary struct {
+	ID    media.DocumentID `json:"id"`
+	Title string           `json:"title"`
+	// Components counts the monomedia components.
+	Components int `json:"components"`
+}
+
+// Response is the server→client envelope.
+type Response struct {
+	Type MessageType `json:"type"`
+	// Error carries the failure text for MsgError.
+	Error string `json:"error,omitempty"`
+
+	// MsgResult fields.
+	Status  string             `json:"status,omitempty"` // paper name, e.g. "SUCCEEDED"
+	Offer   *profile.MMProfile `json:"offer,omitempty"`
+	Session core.SessionID     `json:"session,omitempty"`
+	Cost    cost.Money         `json:"cost,omitempty"`
+	Reason  string             `json:"reason,omitempty"`
+	// ChoicePeriodMs is how long the reservation stays valid.
+	ChoicePeriodMs int64    `json:"choicePeriodMs,omitempty"`
+	Violations     []string `json:"violations,omitempty"`
+
+	// MsgSessionInfo fields.
+	State       string `json:"state,omitempty"`
+	PositionMs  int64  `json:"positionMs,omitempty"`
+	Transitions int    `json:"transitions,omitempty"`
+	// Final marks the last update of a MsgWatch stream.
+	Final bool `json:"final,omitempty"`
+
+	// MsgDocuments fields.
+	Documents []DocumentSummary `json:"documents,omitempty"`
+
+	// MsgStatsInfo fields.
+	Stats *core.Stats `json:"stats,omitempty"`
+
+	// MsgSessions fields.
+	Sessions []SessionSummary `json:"sessions,omitempty"`
+
+	// MsgInvoiceInfo fields.
+	Invoice *cost.Invoice `json:"invoice,omitempty"`
+
+	// MsgServerLoadsInfo fields.
+	ServerLoads []core.ServerLoad `json:"serverLoads,omitempty"`
+}
+
+// SessionSummary is one row of MsgSessions.
+type SessionSummary struct {
+	Session     core.SessionID   `json:"session"`
+	Document    media.DocumentID `json:"document"`
+	State       string           `json:"state"`
+	PositionMs  int64            `json:"positionMs"`
+	Transitions int              `json:"transitions"`
+	Cost        cost.Money       `json:"cost"`
+}
+
+// ParseStatus maps a paper-style status name back to the enum; it returns
+// false for unknown names.
+func ParseStatus(name string) (core.NegotiationStatus, bool) {
+	for s := core.Succeeded; s <= core.FailedWithLocalOffer; s++ {
+		if s.String() == name {
+			return s, true
+		}
+	}
+	return 0, false
+}

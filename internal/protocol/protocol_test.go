@@ -1,0 +1,399 @@
+package protocol
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qosneg/internal/core"
+	"qosneg/internal/cost"
+	"qosneg/internal/profile"
+	"qosneg/internal/qos"
+	"qosneg/internal/testbed"
+)
+
+type harness struct {
+	bed    *testbed.Bed
+	server *Server
+	addr   string
+	done   chan struct{}
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	bed := testbed.MustNew(testbed.Spec{})
+	if _, err := bed.AddNewsArticle("news-1", "Election night", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bed.AddNewsArticle("news-2", "Hockey final", 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	return serveHarness(t, bed)
+}
+
+// serveHarness starts a protocol server over an already-populated bed.
+func serveHarness(t *testing.T, bed *testbed.Bed) *harness {
+	t.Helper()
+	srv := NewServer(bed.Manager, bed.Registry)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	h := &harness{bed: bed, server: srv, addr: l.Addr().String(), done: done}
+	t.Cleanup(func() {
+		l.Close()
+		srv.Close()
+		<-done
+	})
+	return h
+}
+
+func (h *harness) dial(t *testing.T) *Client {
+	t.Helper()
+	c, err := Dial(h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func tvProfile(choice time.Duration) profile.UserProfile {
+	return profile.UserProfile{
+		Name: "tv",
+		Desired: profile.MMProfile{
+			Video: &qos.VideoQoS{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution},
+			Audio: &qos.AudioQoS{Grade: qos.CDQuality},
+			Cost:  profile.CostProfile{MaxCost: cost.Dollars(12)},
+			Time:  profile.TimeProfile{ChoicePeriod: choice},
+		},
+		Worst: profile.MMProfile{
+			Video: &qos.VideoQoS{Color: qos.BlackWhite, FrameRate: 10, Resolution: qos.TVResolution},
+			Audio: &qos.AudioQoS{Grade: qos.TelephoneQuality},
+			Cost:  profile.CostProfile{MaxCost: cost.Dollars(12)},
+			Time:  profile.TimeProfile{ChoicePeriod: choice},
+		},
+		Importance: profile.DefaultImportance(),
+	}
+}
+
+func TestNegotiateConfirmOverWire(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.Succeeded {
+		t.Fatalf("status = %v (%s)", res.Status, res.Reason)
+	}
+	if res.Offer == nil || res.Offer.Video == nil || res.Offer.Video.Color != qos.Color {
+		t.Errorf("offer = %+v", res.Offer)
+	}
+	if res.Cost <= 0 {
+		t.Errorf("cost = %v", res.Cost)
+	}
+	if res.ChoicePeriod != time.Minute {
+		t.Errorf("choice period = %v", res.ChoicePeriod)
+	}
+	if err := c.Confirm(res.Session); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Session(res.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "playing" {
+		t.Errorf("state = %s", info.State)
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Succeeded != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRejectReleasesOverWire(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reject(res.Session); err != nil {
+		t.Fatal(err)
+	}
+	if h.bed.Network.ActiveReservations() != 0 {
+		t.Error("reject leaked reservations")
+	}
+	// Confirming after reject is a protocol error.
+	if err := c.Confirm(res.Session); err == nil {
+		t.Error("confirm after reject accepted")
+	}
+}
+
+func TestChoicePeriodTimeout(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the choice period lapse: the server aborts the session and
+	// reclaims the resources ("the session is simply aborted").
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if h.server.Expired() == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if h.server.Expired() != 1 {
+		t.Fatal("choice period never expired")
+	}
+	if h.bed.Network.ActiveReservations() != 0 {
+		t.Error("expired session leaked reservations")
+	}
+	if err := c.Confirm(res.Session); err == nil {
+		t.Error("confirm after expiry accepted")
+	}
+	info, err := c.Session(res.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != "aborted" {
+		t.Errorf("state = %s", info.State)
+	}
+}
+
+func TestConfirmDisarmsTimer(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(80*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Confirm(res.Session); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if h.server.Expired() != 0 {
+		t.Error("confirmed session expired anyway")
+	}
+	info, _ := c.Session(res.Session)
+	if info.State != "playing" {
+		t.Errorf("state = %s", info.State)
+	}
+}
+
+func TestListDocuments(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	docs, err := c.ListDocuments("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("documents = %+v", docs)
+	}
+	if docs[0].ID != "news-1" || docs[0].Components == 0 {
+		t.Errorf("docs[0] = %+v", docs[0])
+	}
+	hits, err := c.ListDocuments("hockey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].ID != "news-2" {
+		t.Errorf("search = %+v", hits)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	// Unknown document.
+	if _, err := c.Negotiate(h.bed.Client(1), "ghost", tvProfile(time.Minute)); err == nil {
+		t.Error("unknown document accepted")
+	}
+	// Invalid profile (empty name).
+	bad := tvProfile(time.Minute)
+	bad.Name = ""
+	if _, err := c.Negotiate(h.bed.Client(1), "news-1", bad); err == nil {
+		t.Error("invalid profile accepted")
+	}
+	// Invalid machine.
+	mach := h.bed.Client(1)
+	mach.Decoders = nil
+	if _, err := c.Negotiate(mach, "news-1", tvProfile(time.Minute)); err == nil {
+		t.Error("invalid machine accepted")
+	}
+	// Unknown session.
+	if err := c.Confirm(9999); err == nil || !strings.Contains(err.Error(), "unknown session") {
+		t.Errorf("unknown session: %v", err)
+	}
+	// The connection survives errors: a good request still works.
+	if _, err := c.ListDocuments(""); err != nil {
+		t.Errorf("connection broken after error: %v", err)
+	}
+}
+
+func TestMalformedRequestType(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	resp, err := c.roundTrip(Request{Type: "dance"})
+	if err == nil {
+		t.Errorf("unknown request type accepted: %+v", resp)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	h := newHarness(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(h.addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 5; j++ {
+				res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Status.Reserved() {
+					if err := c.Reject(res.Session); err != nil {
+						errs <- err
+						return
+					}
+				}
+				if _, err := c.ListDocuments(""); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if h.bed.Network.ActiveReservations() != 0 {
+		t.Errorf("leaked %d reservations", h.bed.Network.ActiveReservations())
+	}
+}
+
+func TestParseStatus(t *testing.T) {
+	for s := core.Succeeded; s <= core.FailedWithLocalOffer; s++ {
+		got, ok := ParseStatus(s.String())
+		if !ok || got != s {
+			t.Errorf("ParseStatus(%s) = %v, %v", s, got, ok)
+		}
+	}
+	if _, ok := ParseStatus("NOPE"); ok {
+		t.Error("unknown status parsed")
+	}
+}
+
+func TestListSessions(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	if rows, err := c.ListSessions(); err != nil || len(rows) != 0 {
+		t.Fatalf("empty daemon: %v %v", rows, err)
+	}
+	r1, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Negotiate(h.bed.Client(2), "news-2", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Confirm(r2.Session); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.ListSessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].Session != r1.Session || rows[0].State != "reserved" || rows[0].Document != "news-1" {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[1].Session != r2.Session || rows[1].State != "playing" {
+		t.Errorf("row 1 = %+v", rows[1])
+	}
+	if rows[0].Cost <= 0 {
+		t.Errorf("row cost = %v", rows[0].Cost)
+	}
+}
+
+func TestInvoiceOverWire(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := c.Invoice(res.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Total != res.Cost {
+		t.Errorf("invoice total %v vs negotiated cost %v", inv.Total, res.Cost)
+	}
+	if len(inv.Lines) != 2 {
+		t.Errorf("lines = %+v", inv.Lines)
+	}
+	if _, err := c.Invoice(999); err == nil {
+		t.Error("unknown session invoiced")
+	}
+}
+
+func TestServerLoadsOverWire(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	loads, err := c.ServerLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loads) != 2 || loads[0].ID != "server-1" {
+		t.Fatalf("loads = %+v", loads)
+	}
+	if loads[0].ActiveStreams != 0 {
+		t.Errorf("idle server streams = %d", loads[0].ActiveStreams)
+	}
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	loads, _ = c.ServerLoads()
+	total := 0
+	for _, l := range loads {
+		total += l.ActiveStreams
+	}
+	// video + audio + caption text: discrete media occupy a stream slot
+	// while being fetched.
+	if total != 3 {
+		t.Errorf("streams after negotiation = %d", total)
+	}
+}

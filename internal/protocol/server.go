@@ -1,0 +1,386 @@
+package protocol
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"qosneg/internal/core"
+	"qosneg/internal/media"
+	"qosneg/internal/registry"
+)
+
+// Server exposes a QoS manager over TCP. It enforces each reserved
+// session's choice period with a server-side timer: the paper's step 6
+// ("The user must confirm the user offer within a limited amount of time
+// since the resources are reserved ... If a time-out is reached the session
+// is simply aborted").
+type Server struct {
+	man *core.Manager
+	reg *registry.Registry
+
+	mu          sync.Mutex
+	confirmHook func(core.SessionID)
+	timers      map[core.SessionID]*time.Timer
+	conns       map[net.Conn]bool
+	wg          sync.WaitGroup
+	closed      bool
+	// Expired counts sessions aborted by choice-period time-out.
+	expired int
+}
+
+// NewServer builds a protocol server over the QoS manager and registry.
+func NewServer(man *core.Manager, reg *registry.Registry) *Server {
+	return &Server{
+		man:    man,
+		reg:    reg,
+		timers: make(map[core.SessionID]*time.Timer),
+		conns:  make(map[net.Conn]bool),
+	}
+}
+
+// Serve accepts connections on l until l is closed. Each connection is
+// handled on its own goroutine; Serve returns after the accept loop exits.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting work, closes live connections and waits for the
+// handlers to finish. Pending choice-period timers keep running so that
+// reservations are still reclaimed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Expired returns how many sessions were aborted by choice-period time-out.
+func (s *Server) Expired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if err != io.EOF {
+				enc.Encode(Response{Type: MsgError, Error: fmt.Sprintf("bad request: %v", err)})
+			}
+			return
+		}
+		if req.Type == MsgWatch {
+			if err := s.watch(req, enc); err != nil {
+				return
+			}
+			continue
+		}
+		resp := s.dispatch(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req Request) Response {
+	switch req.Type {
+	case MsgNegotiate:
+		return s.negotiate(req)
+	case MsgConfirm:
+		return s.confirm(req)
+	case MsgReject:
+		return s.reject(req)
+	case MsgRenegotiate:
+		return s.renegotiate(req)
+	case MsgSession:
+		return s.session(req)
+	case MsgListDocuments:
+		return s.listDocuments(req)
+	case MsgStats:
+		st := s.man.Stats()
+		return Response{Type: MsgStatsInfo, Stats: &st}
+	case MsgListSessions:
+		return s.listSessions()
+	case MsgServerLoads:
+		return Response{Type: MsgServerLoadsInfo, ServerLoads: s.man.ServerLoads()}
+	case MsgInvoice:
+		inv, err := s.man.Invoice(req.Session)
+		if err != nil {
+			return Response{Type: MsgError, Error: err.Error()}
+		}
+		return Response{Type: MsgInvoiceInfo, Session: req.Session, Invoice: &inv}
+	default:
+		return Response{Type: MsgError, Error: fmt.Sprintf("unknown request type %q", req.Type)}
+	}
+}
+
+func (s *Server) negotiate(req Request) Response {
+	if req.Machine == nil || req.Profile == nil || req.Document == "" {
+		return Response{Type: MsgError, Error: "negotiate needs machine, document and profile"}
+	}
+	if err := req.Machine.Validate(); err != nil {
+		return Response{Type: MsgError, Error: err.Error()}
+	}
+	if err := req.Profile.Validate(); err != nil {
+		return Response{Type: MsgError, Error: err.Error()}
+	}
+	res, err := s.man.Negotiate(*req.Machine, req.Document, *req.Profile)
+	if err != nil {
+		return Response{Type: MsgError, Error: err.Error()}
+	}
+	resp := Response{
+		Type:   MsgResult,
+		Status: res.Status.String(),
+		Offer:  res.Offer,
+		Reason: res.Reason,
+	}
+	for _, v := range res.Violations {
+		resp.Violations = append(resp.Violations, v.String())
+	}
+	if res.Session != nil {
+		resp.Session = res.Session.ID
+		resp.Cost = res.Session.Cost()
+		resp.ChoicePeriodMs = res.Session.ChoicePeriod.Milliseconds()
+		s.armChoiceTimer(res.Session.ID, res.Session.ChoicePeriod)
+	}
+	return resp
+}
+
+// armChoiceTimer starts the step 6 time-out for a reserved session.
+func (s *Server) armChoiceTimer(id core.SessionID, period time.Duration) {
+	t := time.AfterFunc(period, func() {
+		s.mu.Lock()
+		delete(s.timers, id)
+		s.mu.Unlock()
+		// Reject only succeeds while the session is still Reserved, so a
+		// raced Confirm wins harmlessly.
+		if err := s.man.Reject(id); err == nil {
+			s.mu.Lock()
+			s.expired++
+			s.mu.Unlock()
+		}
+	})
+	s.mu.Lock()
+	s.timers[id] = t
+	s.mu.Unlock()
+}
+
+// disarmChoiceTimer cancels the time-out; it reports whether the timer was
+// still pending.
+func (s *Server) disarmChoiceTimer(id core.SessionID) bool {
+	s.mu.Lock()
+	t, ok := s.timers[id]
+	delete(s.timers, id)
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return t.Stop()
+}
+
+// renegotiate re-runs the procedure for a reserved session. The old choice
+// timer is disarmed; a successful renegotiation arms a fresh one.
+func (s *Server) renegotiate(req Request) Response {
+	if req.Profile == nil {
+		return Response{Type: MsgError, Error: "renegotiate needs a profile"}
+	}
+	if err := req.Profile.Validate(); err != nil {
+		return Response{Type: MsgError, Error: err.Error()}
+	}
+	s.disarmChoiceTimer(req.Session)
+	res, err := s.man.Renegotiate(req.Session, *req.Profile)
+	if err != nil {
+		return Response{Type: MsgError, Error: err.Error()}
+	}
+	resp := Response{
+		Type:   MsgResult,
+		Status: res.Status.String(),
+		Offer:  res.Offer,
+		Reason: res.Reason,
+	}
+	for _, v := range res.Violations {
+		resp.Violations = append(resp.Violations, v.String())
+	}
+	if res.Session != nil {
+		resp.Session = res.Session.ID
+		resp.Cost = res.Session.Cost()
+		resp.ChoicePeriodMs = res.Session.ChoicePeriod.Milliseconds()
+		s.armChoiceTimer(res.Session.ID, res.Session.ChoicePeriod)
+	}
+	return resp
+}
+
+func (s *Server) confirm(req Request) Response {
+	s.disarmChoiceTimer(req.Session)
+	if err := s.man.Confirm(req.Session); err != nil {
+		return Response{Type: MsgError, Error: err.Error()}
+	}
+	s.mu.Lock()
+	hook := s.confirmHook
+	s.mu.Unlock()
+	if hook != nil {
+		hook(req.Session)
+	}
+	return Response{Type: MsgOK, Session: req.Session}
+}
+
+// setConfirmHook installs a callback fired after every successful Confirm;
+// the playout driver uses it.
+func (s *Server) setConfirmHook(hook func(core.SessionID)) {
+	s.mu.Lock()
+	s.confirmHook = hook
+	s.mu.Unlock()
+}
+
+// registryDocument exposes the catalog to the playout driver.
+func (s *Server) registryDocument(id media.DocumentID) (media.Document, error) {
+	return s.reg.Document(id)
+}
+
+func (s *Server) reject(req Request) Response {
+	s.disarmChoiceTimer(req.Session)
+	if err := s.man.Reject(req.Session); err != nil {
+		return Response{Type: MsgError, Error: err.Error()}
+	}
+	return Response{Type: MsgOK, Session: req.Session}
+}
+
+func (s *Server) session(req Request) Response {
+	sess, err := s.man.Session(req.Session)
+	if err != nil {
+		return Response{Type: MsgError, Error: err.Error()}
+	}
+	return Response{
+		Type:        MsgSessionInfo,
+		Session:     sess.ID,
+		State:       sess.State().String(),
+		PositionMs:  sess.Position().Milliseconds(),
+		Transitions: sess.Transitions(),
+		Cost:        sess.Cost(),
+	}
+}
+
+// watch streams session updates until the session reaches a terminal state
+// or the connection breaks. Each sample is a MsgSessionInfo; the last one
+// carries Final=true.
+func (s *Server) watch(req Request, enc *json.Encoder) error {
+	interval := time.Duration(req.IntervalMs) * time.Millisecond
+	if interval <= 0 {
+		interval = 200 * time.Millisecond
+	}
+	sess, err := s.man.Session(req.Session)
+	if err != nil {
+		return enc.Encode(Response{Type: MsgError, Error: err.Error()})
+	}
+	var lastState string
+	var lastTransitions int
+	for {
+		state := sess.State()
+		info := Response{
+			Type:        MsgSessionInfo,
+			Session:     sess.ID,
+			State:       state.String(),
+			PositionMs:  sess.Position().Milliseconds(),
+			Transitions: sess.Transitions(),
+			Cost:        sess.Cost(),
+		}
+		terminal := state == core.Completed || state == core.Aborted
+		changed := info.State != lastState || info.Transitions != lastTransitions
+		if terminal {
+			info.Final = true
+		}
+		if changed || terminal {
+			if err := enc.Encode(info); err != nil {
+				return err
+			}
+			lastState = info.State
+			lastTransitions = info.Transitions
+		}
+		if terminal {
+			return nil
+		}
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func (s *Server) listSessions() Response {
+	resp := Response{Type: MsgSessions}
+	for _, state := range []core.SessionState{core.Reserved, core.Playing, core.Completed, core.Aborted} {
+		for _, sess := range s.man.Sessions(state) {
+			resp.Sessions = append(resp.Sessions, SessionSummary{
+				Session:     sess.ID,
+				Document:    sess.Document,
+				State:       state.String(),
+				PositionMs:  sess.Position().Milliseconds(),
+				Transitions: sess.Transitions(),
+				Cost:        sess.Cost(),
+			})
+		}
+	}
+	sort.Slice(resp.Sessions, func(i, j int) bool { return resp.Sessions[i].Session < resp.Sessions[j].Session })
+	return resp
+}
+
+func (s *Server) listDocuments(req Request) Response {
+	ids := s.reg.List()
+	if req.Query != "" {
+		ids = s.reg.SearchTitle(req.Query)
+	}
+	resp := Response{Type: MsgDocuments}
+	for _, id := range ids {
+		d, err := s.reg.Document(id)
+		if err != nil {
+			continue
+		}
+		resp.Documents = append(resp.Documents, DocumentSummary{
+			ID: d.ID, Title: d.Title, Components: len(d.Monomedia),
+		})
+	}
+	return resp
+}

@@ -1,0 +1,111 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"qosneg/internal/core"
+	"qosneg/internal/testbed"
+)
+
+func TestWatchStreamsToCompletion(t *testing.T) {
+	bed := testbed.MustNew(testbed.Spec{})
+	if _, err := bed.AddNewsArticle("news-1", "Clip", 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	h := serveHarness(t, bed)
+	p := AttachPlayout(h.server, bed.Manager, 20*time.Millisecond)
+	t.Cleanup(p.Stop)
+
+	ctl := h.dial(t)
+	res, err := ctl.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil || !res.Status.Reserved() {
+		t.Fatalf("negotiate: %v %v", res.Status, err)
+	}
+
+	// Watch on a dedicated connection, then confirm from the control one.
+	watcher := h.dial(t)
+	done := make(chan []SessionInfo, 1)
+	go func() {
+		var updates []SessionInfo
+		err := watcher.Watch(res.Session, 20*time.Millisecond, func(i SessionInfo) {
+			updates = append(updates, i)
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- updates
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := ctl.Confirm(res.Session); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case updates := <-done:
+		if len(updates) < 2 {
+			t.Fatalf("updates = %+v", updates)
+		}
+		first, last := updates[0], updates[len(updates)-1]
+		if first.State != "reserved" && first.State != "playing" {
+			t.Errorf("first update state = %s", first.State)
+		}
+		if last.State != core.Completed.String() {
+			t.Errorf("final state = %s", last.State)
+		}
+		// State changes arrived in order.
+		sawPlaying := false
+		for _, u := range updates {
+			if u.State == "playing" {
+				sawPlaying = true
+			}
+		}
+		if !sawPlaying {
+			t.Errorf("playing never observed: %+v", updates)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch never finished")
+	}
+}
+
+func TestWatchUnknownSession(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	err := c.Watch(999, 10*time.Millisecond, func(SessionInfo) {})
+	if err == nil || !strings.Contains(err.Error(), "unknown session") {
+		t.Errorf("watch unknown: %v", err)
+	}
+	// The connection survives for further requests.
+	if _, err := c.ListDocuments(""); err != nil {
+		t.Errorf("connection broken: %v", err)
+	}
+}
+
+func TestWatchReportsAbort(t *testing.T) {
+	h := newHarness(t)
+	ctl := h.dial(t)
+	res, err := ctl.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	watcher := h.dial(t)
+	done := make(chan string, 1)
+	go func() {
+		last := ""
+		watcher.Watch(res.Session, 10*time.Millisecond, func(i SessionInfo) { last = i.State })
+		done <- last
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := ctl.Reject(res.Session); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case last := <-done:
+		if last != "aborted" {
+			t.Errorf("final state = %s", last)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watch never finished")
+	}
+}

@@ -1,0 +1,120 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMapVideoFormulas(t *testing.T) {
+	// Section 6: maxBitRate = (maximum frame length)×(frame rate),
+	// avgBitRate = (average frame length)×(frame rate). A 12 kB max /
+	// 6 kB avg frame at 25 frames/s gives 2.4 / 1.2 Mbit/s.
+	b := BlockStats{MaxBlockBytes: 12000, AvgBlockBytes: 6000}
+	n := MapVideo(b, 25)
+	if n.MaxBitRate != 2_400_000 {
+		t.Errorf("maxBitRate = %d, want 2400000", n.MaxBitRate)
+	}
+	if n.AvgBitRate != 1_200_000 {
+		t.Errorf("avgBitRate = %d, want 1200000", n.AvgBitRate)
+	}
+	if n.Jitter != 10*time.Millisecond {
+		t.Errorf("video jitter = %v, want 10ms (Section 6)", n.Jitter)
+	}
+	if n.LossRate != 0.003 {
+		t.Errorf("video loss rate = %g, want 0.003 (Section 6)", n.LossRate)
+	}
+}
+
+func TestMapAudioFormulas(t *testing.T) {
+	// 2 bytes/sample at CD rate 44100 Hz: 705.6 kbit/s.
+	b := BlockStats{MaxBlockBytes: 2, AvgBlockBytes: 2}
+	n := MapAudio(b, 44100)
+	if n.MaxBitRate != 705_600 || n.AvgBitRate != 705_600 {
+		t.Errorf("CD audio bit rates = %d/%d, want 705600", n.MaxBitRate, n.AvgBitRate)
+	}
+	if n.Jitter != AudioJitter || n.LossRate != AudioLossRate {
+		t.Errorf("audio targets = %v/%g", n.Jitter, n.LossRate)
+	}
+}
+
+func TestMapSettingDispatch(t *testing.T) {
+	b := BlockStats{MaxBlockBytes: 1000, AvgBlockBytes: 500}
+	v := MapSetting(VideoSetting(VideoQoS{Color, 10, 480}), b)
+	if v.MaxBitRate != BitRate(1000*8*10) {
+		t.Errorf("video dispatch: %d", v.MaxBitRate)
+	}
+	a := MapSetting(AudioSetting(AudioQoS{Grade: TelephoneQuality}), b)
+	if a.MaxBitRate != BitRate(1000*8*8000) {
+		t.Errorf("audio dispatch: %d", a.MaxBitRate)
+	}
+	for _, s := range []Setting{
+		TextSetting(TextQoS{Language: English}),
+		ImageSetting(ImageQoS{Color: Color, Resolution: 480}),
+		{},
+	} {
+		if n := MapSetting(s, b); !n.Zero() {
+			t.Errorf("discrete media must map to zero throughput, got %v", n)
+		}
+	}
+}
+
+func TestBlockStatsValidate(t *testing.T) {
+	if err := (BlockStats{MaxBlockBytes: 10, AvgBlockBytes: 5}).Validate(); err != nil {
+		t.Errorf("valid stats rejected: %v", err)
+	}
+	if err := (BlockStats{MaxBlockBytes: 5, AvgBlockBytes: 10}).Validate(); err == nil {
+		t.Error("avg > max must be invalid")
+	}
+	if err := (BlockStats{MaxBlockBytes: -1, AvgBlockBytes: -2}).Validate(); err == nil {
+		t.Error("negative lengths must be invalid")
+	}
+}
+
+func TestNetworkQoSString(t *testing.T) {
+	n := NetworkQoS{MaxBitRate: 2_400_000, AvgBitRate: 1_200_000, Jitter: 10 * time.Millisecond, LossRate: 0.003}
+	got := n.String()
+	want := "max 2.4 Mbit/s avg 1.2 Mbit/s jitter 10ms loss 0.003"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// Properties: mapping is linear in the frame rate and monotone in block
+// size; avg never exceeds max for valid block stats.
+func TestMappingProperties(t *testing.T) {
+	linear := func(maxB, avgB uint16, rate uint8) bool {
+		r := int(rate%60) + 1
+		b := BlockStats{MaxBlockBytes: int64(maxB), AvgBlockBytes: int64(avgB)}
+		n1 := MapVideo(b, r)
+		n2 := MapVideo(b, 2*r)
+		return n2.MaxBitRate == 2*n1.MaxBitRate && n2.AvgBitRate == 2*n1.AvgBitRate
+	}
+	if err := quick.Check(linear, nil); err != nil {
+		t.Errorf("linearity: %v", err)
+	}
+	ordered := func(maxB, avgB uint16, rate uint8) bool {
+		if avgB > maxB {
+			avgB, maxB = maxB, avgB
+		}
+		r := int(rate%60) + 1
+		n := MapVideo(BlockStats{MaxBlockBytes: int64(maxB), AvgBlockBytes: int64(avgB)}, r)
+		return n.AvgBitRate <= n.MaxBitRate
+	}
+	if err := quick.Check(ordered, nil); err != nil {
+		t.Errorf("avg<=max: %v", err)
+	}
+}
+
+func TestMappingSetsDelayTarget(t *testing.T) {
+	b := BlockStats{MaxBlockBytes: 1000, AvgBlockBytes: 500}
+	if got := MapVideo(b, 25).Delay; got != StreamDelay {
+		t.Errorf("video delay target = %v", got)
+	}
+	if got := MapAudio(b, 8000).Delay; got != StreamDelay {
+		t.Errorf("audio delay target = %v", got)
+	}
+	if got := MapSetting(TextSetting(TextQoS{}), b).Delay; got != 0 {
+		t.Errorf("discrete delay target = %v", got)
+	}
+}

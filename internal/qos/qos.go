@@ -1,0 +1,76 @@
+// Package qos defines the quality-of-service vocabulary shared by every
+// component of the news-on-demand reproduction: the user-perceptible
+// parameter scales (color quality, frame rate, resolution, audio quality,
+// language), per-media QoS settings, satisfaction ordering between settings,
+// and the mapping from user-level parameters to system-level network
+// parameters (maxBitRate, avgBitRate, jitter, loss rate) described in
+// Section 6 of the paper.
+//
+// All quantities are exact integers where the paper treats them as such:
+// frame rates in frames per second, resolutions in pixels per line, sample
+// rates in samples per second and bit rates in bits per second. Jitter and
+// delay use time.Duration; loss rates are dimensionless fractions.
+package qos
+
+import "fmt"
+
+// BitRate is a network throughput in bits per second.
+type BitRate int64
+
+// Common bit-rate units.
+const (
+	BitPerSecond  BitRate = 1
+	KBitPerSecond         = 1000 * BitPerSecond
+	MBitPerSecond         = 1000 * KBitPerSecond
+	GBitPerSecond         = 1000 * MBitPerSecond
+)
+
+// String renders the bit rate with a human-friendly unit, e.g. "1.5 Mbit/s".
+func (r BitRate) String() string {
+	switch {
+	case r >= GBitPerSecond:
+		return fmt.Sprintf("%.3g Gbit/s", float64(r)/float64(GBitPerSecond))
+	case r >= MBitPerSecond:
+		return fmt.Sprintf("%.3g Mbit/s", float64(r)/float64(MBitPerSecond))
+	case r >= KBitPerSecond:
+		return fmt.Sprintf("%.3g kbit/s", float64(r)/float64(KBitPerSecond))
+	default:
+		return fmt.Sprintf("%d bit/s", int64(r))
+	}
+}
+
+// MediaKind identifies the medium of a monomedia object (Section 2: "a text,
+// a still image, an audio sequence, a graphic or a video sequence").
+type MediaKind int
+
+// The media kinds of the document model.
+const (
+	Video MediaKind = iota
+	Audio
+	Text
+	Image
+	Graphic
+)
+
+var mediaKindNames = [...]string{"video", "audio", "text", "image", "graphic"}
+
+// String returns the lower-case name of the media kind.
+func (k MediaKind) String() string {
+	if k < 0 || int(k) >= len(mediaKindNames) {
+		return fmt.Sprintf("MediaKind(%d)", int(k))
+	}
+	return mediaKindNames[k]
+}
+
+// Valid reports whether k is one of the defined media kinds.
+func (k MediaKind) Valid() bool { return k >= Video && k <= Graphic }
+
+// Continuous reports whether the medium is a continuous (time-dependent)
+// medium that requires streaming resources. Only continuous media consume
+// server and network throughput in the prototype's cost and reservation
+// model; discrete media (text, image, graphic) are delivered ahead of the
+// presentation.
+func (k MediaKind) Continuous() bool { return k == Video || k == Audio }
+
+// MediaKinds lists every defined media kind in declaration order.
+func MediaKinds() []MediaKind { return []MediaKind{Video, Audio, Text, Image, Graphic} }

@@ -1,0 +1,119 @@
+package qos
+
+import "fmt"
+
+// ColorQuality is the ordered color scale of Figure 2: black&white < grey <
+// color < super-color. A larger value is a strictly better quality.
+type ColorQuality int
+
+// The color qualities a user may request for video and still images.
+const (
+	BlackWhite ColorQuality = iota + 1
+	Grey
+	Color
+	SuperColor
+)
+
+var colorNames = map[ColorQuality]string{
+	BlackWhite: "black&white",
+	Grey:       "grey",
+	Color:      "color",
+	SuperColor: "super-color",
+}
+
+// String returns the paper's name for the color quality.
+func (c ColorQuality) String() string {
+	if s, ok := colorNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("ColorQuality(%d)", int(c))
+}
+
+// Valid reports whether c is one of the defined color qualities.
+func (c ColorQuality) Valid() bool { return c >= BlackWhite && c <= SuperColor }
+
+// AtLeast reports whether c is the same or a better color quality than min.
+func (c ColorQuality) AtLeast(min ColorQuality) bool { return c >= min }
+
+// ColorQualities lists the color scale from worst to best.
+func ColorQualities() []ColorQuality {
+	return []ColorQuality{BlackWhite, Grey, Color, SuperColor}
+}
+
+// AudioGrade is the ordered audio-quality scale of Figure 2: telephone < CD.
+// A larger value is a strictly better quality.
+type AudioGrade int
+
+// The audio grades a user may request.
+const (
+	TelephoneQuality AudioGrade = iota + 1
+	CDQuality
+)
+
+var audioGradeNames = map[AudioGrade]string{
+	TelephoneQuality: "telephone",
+	CDQuality:        "CD",
+}
+
+// String returns the paper's name for the audio grade.
+func (g AudioGrade) String() string {
+	if s, ok := audioGradeNames[g]; ok {
+		return s
+	}
+	return fmt.Sprintf("AudioGrade(%d)", int(g))
+}
+
+// Valid reports whether g is one of the defined audio grades.
+func (g AudioGrade) Valid() bool { return g == TelephoneQuality || g == CDQuality }
+
+// AtLeast reports whether g is the same or a better grade than min.
+func (g AudioGrade) AtLeast(min AudioGrade) bool { return g >= min }
+
+// AudioGrades lists the audio scale from worst to best.
+func AudioGrades() []AudioGrade { return []AudioGrade{TelephoneQuality, CDQuality} }
+
+// SampleRate returns the conventional sample rate, in samples per second,
+// used by the prototype for the grade (8 kHz telephone, 44.1 kHz CD).
+func (g AudioGrade) SampleRate() int {
+	if g == CDQuality {
+		return 44100
+	}
+	return 8000
+}
+
+// Language identifies the language of a text or audio monomedia. The paper's
+// importance example (4) ranks French above English; the scale is unordered,
+// preference between languages is expressed through importance factors only.
+type Language string
+
+// Languages appearing in the news-on-demand prototype.
+const (
+	English Language = "english"
+	French  Language = "french"
+)
+
+// Frame-rate anchor points of Figure 2, in frames per second. The user may
+// request "any integer values between HDTV rate (60 frames/s) and frozen
+// rate (1 frame/s)".
+const (
+	FrozenRate = 1  // "frozen rate": one frame per second
+	TVRate     = 25 // the TV rate used throughout the paper's examples
+	HDTVRate   = 60 // "HDTV rate"
+)
+
+// Resolution anchor points of Figure 2, in pixels per line. The user may
+// request "any integer values between HDTV resolution (1920 pixels/line) and
+// minimal resolution (10 pixels/line)".
+const (
+	MinResolution  = 10
+	TVResolution   = 480
+	HDTVResolution = 1920
+)
+
+// ValidFrameRate reports whether r lies in the user-selectable frame-rate
+// range of Figure 2.
+func ValidFrameRate(r int) bool { return r >= FrozenRate && r <= HDTVRate }
+
+// ValidResolution reports whether r lies in the user-selectable resolution
+// range of Figure 2.
+func ValidResolution(r int) bool { return r >= MinResolution && r <= HDTVResolution }

@@ -1,0 +1,153 @@
+package qos
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColorQualityOrdering(t *testing.T) {
+	scale := ColorQualities()
+	if len(scale) != 4 {
+		t.Fatalf("want 4 color qualities, got %d", len(scale))
+	}
+	for i := 1; i < len(scale); i++ {
+		if scale[i] <= scale[i-1] {
+			t.Errorf("scale not strictly increasing at %d: %v <= %v", i, scale[i], scale[i-1])
+		}
+		if !scale[i].AtLeast(scale[i-1]) {
+			t.Errorf("%v should be at least %v", scale[i], scale[i-1])
+		}
+		if scale[i-1].AtLeast(scale[i]) {
+			t.Errorf("%v should not be at least %v", scale[i-1], scale[i])
+		}
+	}
+}
+
+func TestColorQualityNames(t *testing.T) {
+	cases := map[ColorQuality]string{
+		BlackWhite: "black&white",
+		Grey:       "grey",
+		Color:      "color",
+		SuperColor: "super-color",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(c), got, want)
+		}
+		if !c.Valid() {
+			t.Errorf("%v should be valid", c)
+		}
+	}
+	if ColorQuality(0).Valid() || ColorQuality(5).Valid() {
+		t.Error("out-of-range color qualities must be invalid")
+	}
+	if got := ColorQuality(42).String(); got != "ColorQuality(42)" {
+		t.Errorf("unknown color String() = %q", got)
+	}
+}
+
+func TestAudioGrades(t *testing.T) {
+	if !CDQuality.AtLeast(TelephoneQuality) {
+		t.Error("CD must satisfy telephone")
+	}
+	if TelephoneQuality.AtLeast(CDQuality) {
+		t.Error("telephone must not satisfy CD")
+	}
+	if got := CDQuality.String(); got != "CD" {
+		t.Errorf("CDQuality.String() = %q", got)
+	}
+	if got := TelephoneQuality.String(); got != "telephone" {
+		t.Errorf("TelephoneQuality.String() = %q", got)
+	}
+	if AudioGrade(0).Valid() || AudioGrade(3).Valid() {
+		t.Error("out-of-range audio grades must be invalid")
+	}
+	if CDQuality.SampleRate() != 44100 || TelephoneQuality.SampleRate() != 8000 {
+		t.Errorf("sample rates: CD=%d tel=%d", CDQuality.SampleRate(), TelephoneQuality.SampleRate())
+	}
+}
+
+func TestFigure2Ranges(t *testing.T) {
+	// "any integer values between HDTV rate (60 frames/s) and frozen rate
+	// (1 frame/s)" and "between HDTV resolution (1920 pixels/line) and
+	// minimal resolution (10 pixels/line)".
+	if HDTVRate != 60 || FrozenRate != 1 {
+		t.Fatalf("frame-rate anchors: HDTV=%d frozen=%d", HDTVRate, FrozenRate)
+	}
+	if HDTVResolution != 1920 || MinResolution != 10 {
+		t.Fatalf("resolution anchors: HDTV=%d min=%d", HDTVResolution, MinResolution)
+	}
+	for _, r := range []int{1, 25, 60} {
+		if !ValidFrameRate(r) {
+			t.Errorf("frame rate %d should be valid", r)
+		}
+	}
+	for _, r := range []int{0, -3, 61, 1000} {
+		if ValidFrameRate(r) {
+			t.Errorf("frame rate %d should be invalid", r)
+		}
+	}
+	for _, r := range []int{10, 480, 1920} {
+		if !ValidResolution(r) {
+			t.Errorf("resolution %d should be valid", r)
+		}
+	}
+	for _, r := range []int{9, 0, 1921} {
+		if ValidResolution(r) {
+			t.Errorf("resolution %d should be invalid", r)
+		}
+	}
+}
+
+func TestMediaKind(t *testing.T) {
+	names := map[MediaKind]string{Video: "video", Audio: "audio", Text: "text", Image: "image", Graphic: "graphic"}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+		if !k.Valid() {
+			t.Errorf("%v should be valid", k)
+		}
+	}
+	if MediaKind(-1).Valid() || MediaKind(5).Valid() {
+		t.Error("out-of-range media kinds must be invalid")
+	}
+	if !Video.Continuous() || !Audio.Continuous() {
+		t.Error("video and audio are continuous media")
+	}
+	if Text.Continuous() || Image.Continuous() || Graphic.Continuous() {
+		t.Error("text, image, graphic are discrete media")
+	}
+	if got := len(MediaKinds()); got != 5 {
+		t.Errorf("MediaKinds() returned %d kinds", got)
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := map[BitRate]string{
+		500 * BitPerSecond:     "500 bit/s",
+		64 * KBitPerSecond:     "64 kbit/s",
+		1500 * KBitPerSecond:   "1.5 Mbit/s",
+		2400 * MBitPerSecond:   "2.4 Gbit/s",
+		1 * MBitPerSecond:      "1 Mbit/s",
+		128_000 * BitPerSecond: "128 kbit/s",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int64(r), got, want)
+		}
+	}
+}
+
+// Property: AtLeast is a total order consistent with integer comparison on
+// the color scale.
+func TestColorAtLeastProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x := ColorQuality(a%4) + 1
+		y := ColorQuality(b%4) + 1
+		return x.AtLeast(y) == (x >= y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package qos
+
+import "fmt"
+
+// VideoQoS is the user-perceptible quality of a video monomedia: the three
+// parameters negotiated in every example of the paper (color quality, frame
+// rate in frames/s, resolution in pixels/line).
+type VideoQoS struct {
+	Color      ColorQuality `json:"color"`
+	FrameRate  int          `json:"frameRate"`
+	Resolution int          `json:"resolution"`
+}
+
+// Satisfies reports whether v meets or exceeds min on every parameter.
+func (v VideoQoS) Satisfies(min VideoQoS) bool {
+	return v.Color >= min.Color && v.FrameRate >= min.FrameRate && v.Resolution >= min.Resolution
+}
+
+// Validate reports an error when a field lies outside the Figure 2 ranges.
+func (v VideoQoS) Validate() error {
+	if !v.Color.Valid() {
+		return fmt.Errorf("video QoS: invalid color quality %d", int(v.Color))
+	}
+	if !ValidFrameRate(v.FrameRate) {
+		return fmt.Errorf("video QoS: frame rate %d outside [%d, %d]", v.FrameRate, FrozenRate, HDTVRate)
+	}
+	if !ValidResolution(v.Resolution) {
+		return fmt.Errorf("video QoS: resolution %d outside [%d, %d]", v.Resolution, MinResolution, HDTVResolution)
+	}
+	return nil
+}
+
+// String renders the triple in the order the paper uses, e.g.
+// "(color, 25 frames/s, 480 pixels/line)".
+func (v VideoQoS) String() string {
+	return fmt.Sprintf("(%s, %d frames/s, %d pixels/line)", v.Color, v.FrameRate, v.Resolution)
+}
+
+// AudioQoS is the user-perceptible quality of an audio monomedia: the audio
+// grade of Figure 2 plus the language (the paper's importance example (4)
+// lets the user rank French above English).
+type AudioQoS struct {
+	Grade    AudioGrade `json:"grade"`
+	Language Language   `json:"language,omitempty"`
+}
+
+// Satisfies reports whether a meets or exceeds min. A language constraint in
+// min is satisfied only by the identical language; an empty language in min
+// accepts any.
+func (a AudioQoS) Satisfies(min AudioQoS) bool {
+	if !a.Grade.AtLeast(min.Grade) {
+		return false
+	}
+	return min.Language == "" || a.Language == min.Language
+}
+
+// Validate reports an error when the grade is undefined.
+func (a AudioQoS) Validate() error {
+	if !a.Grade.Valid() {
+		return fmt.Errorf("audio QoS: invalid grade %d", int(a.Grade))
+	}
+	return nil
+}
+
+// String renders e.g. "(CD quality, french)".
+func (a AudioQoS) String() string {
+	if a.Language == "" {
+		return fmt.Sprintf("(%s quality)", a.Grade)
+	}
+	return fmt.Sprintf("(%s quality, %s)", a.Grade, a.Language)
+}
+
+// ImageQoS is the user-perceptible quality of a still image or graphic.
+type ImageQoS struct {
+	Color      ColorQuality `json:"color"`
+	Resolution int          `json:"resolution"`
+}
+
+// Satisfies reports whether i meets or exceeds min on both parameters.
+func (i ImageQoS) Satisfies(min ImageQoS) bool {
+	return i.Color >= min.Color && i.Resolution >= min.Resolution
+}
+
+// Validate reports an error when a field lies outside the Figure 2 ranges.
+func (i ImageQoS) Validate() error {
+	if !i.Color.Valid() {
+		return fmt.Errorf("image QoS: invalid color quality %d", int(i.Color))
+	}
+	if !ValidResolution(i.Resolution) {
+		return fmt.Errorf("image QoS: resolution %d outside [%d, %d]", i.Resolution, MinResolution, HDTVResolution)
+	}
+	return nil
+}
+
+// String renders e.g. "(color, 480 pixels/line)".
+func (i ImageQoS) String() string {
+	return fmt.Sprintf("(%s, %d pixels/line)", i.Color, i.Resolution)
+}
+
+// TextQoS is the user-perceptible quality of a text monomedia. The only
+// negotiable parameter in the prototype is the language.
+type TextQoS struct {
+	Language Language `json:"language,omitempty"`
+}
+
+// Satisfies reports whether t matches min's language constraint (empty
+// accepts any).
+func (t TextQoS) Satisfies(min TextQoS) bool {
+	return min.Language == "" || t.Language == min.Language
+}
+
+// Validate always succeeds: every language string is permitted.
+func (t TextQoS) Validate() error { return nil }
+
+// String renders e.g. "(french)".
+func (t TextQoS) String() string {
+	if t.Language == "" {
+		return "(any language)"
+	}
+	return fmt.Sprintf("(%s)", t.Language)
+}
+
+// Setting is the QoS of a single monomedia object, tagged by media kind.
+// Exactly one of the pointer fields is set; graphics share the ImageQoS
+// parameters. The zero Setting has no kind and satisfies nothing.
+type Setting struct {
+	Video *VideoQoS `json:"video,omitempty"`
+	Audio *AudioQoS `json:"audio,omitempty"`
+	Image *ImageQoS `json:"image,omitempty"`
+	Text  *TextQoS  `json:"text,omitempty"`
+}
+
+// VideoSetting wraps a video QoS as a Setting.
+func VideoSetting(v VideoQoS) Setting { return Setting{Video: &v} }
+
+// AudioSetting wraps an audio QoS as a Setting.
+func AudioSetting(a AudioQoS) Setting { return Setting{Audio: &a} }
+
+// ImageSetting wraps an image/graphic QoS as a Setting.
+func ImageSetting(i ImageQoS) Setting { return Setting{Image: &i} }
+
+// TextSetting wraps a text QoS as a Setting.
+func TextSetting(t TextQoS) Setting { return Setting{Text: &t} }
+
+// Kind returns the media kind the setting describes, and false for the zero
+// Setting. Image settings report the Image kind; callers attach them to
+// graphic monomedia as well.
+func (s Setting) Kind() (MediaKind, bool) {
+	switch {
+	case s.Video != nil:
+		return Video, true
+	case s.Audio != nil:
+		return Audio, true
+	case s.Image != nil:
+		return Image, true
+	case s.Text != nil:
+		return Text, true
+	}
+	return 0, false
+}
+
+// Validate checks that exactly one media section is present and in range.
+func (s Setting) Validate() error {
+	n := 0
+	var err error
+	if s.Video != nil {
+		n, err = n+1, s.Video.Validate()
+	}
+	if s.Audio != nil {
+		if e := s.Audio.Validate(); err == nil {
+			err = e
+		}
+		n++
+	}
+	if s.Image != nil {
+		if e := s.Image.Validate(); err == nil {
+			err = e
+		}
+		n++
+	}
+	if s.Text != nil {
+		if e := s.Text.Validate(); err == nil {
+			err = e
+		}
+		n++
+	}
+	if n != 1 {
+		return fmt.Errorf("setting: want exactly one media section, have %d", n)
+	}
+	return err
+}
+
+// Satisfies reports whether s meets or exceeds min. Settings of different
+// kinds (or zero Settings) never satisfy each other.
+func (s Setting) Satisfies(min Setting) bool {
+	switch {
+	case s.Video != nil && min.Video != nil:
+		return s.Video.Satisfies(*min.Video)
+	case s.Audio != nil && min.Audio != nil:
+		return s.Audio.Satisfies(*min.Audio)
+	case s.Image != nil && min.Image != nil:
+		return s.Image.Satisfies(*min.Image)
+	case s.Text != nil && min.Text != nil:
+		return s.Text.Satisfies(*min.Text)
+	}
+	return false
+}
+
+// String renders the setting in the paper's tuple notation.
+func (s Setting) String() string {
+	switch {
+	case s.Video != nil:
+		return s.Video.String()
+	case s.Audio != nil:
+		return s.Audio.String()
+	case s.Image != nil:
+		return s.Image.String()
+	case s.Text != nil:
+		return s.Text.String()
+	}
+	return "(unset)"
+}

@@ -1,0 +1,198 @@
+package qos
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVideoQoSSatisfies(t *testing.T) {
+	want := VideoQoS{Color: Color, FrameRate: 25, Resolution: TVResolution}
+	cases := []struct {
+		name  string
+		offer VideoQoS
+		ok    bool
+	}{
+		{"identical", VideoQoS{Color, 25, TVResolution}, true},
+		{"better color", VideoQoS{SuperColor, 25, TVResolution}, true},
+		{"better rate", VideoQoS{Color, 30, TVResolution}, true},
+		{"better resolution", VideoQoS{Color, 25, HDTVResolution}, true},
+		{"worse color", VideoQoS{Grey, 25, TVResolution}, false},
+		{"worse rate", VideoQoS{Color, 15, TVResolution}, false},
+		{"worse resolution", VideoQoS{Color, 25, MinResolution}, false},
+		{"all better", VideoQoS{SuperColor, 60, HDTVResolution}, true},
+		{"mixed", VideoQoS{SuperColor, 15, HDTVResolution}, false},
+	}
+	for _, c := range cases {
+		if got := c.offer.Satisfies(want); got != c.ok {
+			t.Errorf("%s: Satisfies = %v, want %v", c.name, got, c.ok)
+		}
+	}
+}
+
+func TestVideoQoSValidate(t *testing.T) {
+	good := VideoQoS{Color: Color, FrameRate: 25, Resolution: TVResolution}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid QoS rejected: %v", err)
+	}
+	bad := []VideoQoS{
+		{Color: 0, FrameRate: 25, Resolution: 480},
+		{Color: Color, FrameRate: 0, Resolution: 480},
+		{Color: Color, FrameRate: 61, Resolution: 480},
+		{Color: Color, FrameRate: 25, Resolution: 5},
+		{Color: Color, FrameRate: 25, Resolution: 4000},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("bad QoS %d accepted: %+v", i, v)
+		}
+	}
+}
+
+func TestAudioQoSSatisfies(t *testing.T) {
+	min := AudioQoS{Grade: TelephoneQuality, Language: French}
+	if !(AudioQoS{Grade: CDQuality, Language: French}).Satisfies(min) {
+		t.Error("CD french should satisfy telephone french")
+	}
+	if (AudioQoS{Grade: CDQuality, Language: English}).Satisfies(min) {
+		t.Error("english must not satisfy a french constraint")
+	}
+	anyLang := AudioQoS{Grade: CDQuality}
+	if !(AudioQoS{Grade: CDQuality, Language: English}).Satisfies(anyLang) {
+		t.Error("empty language constraint accepts any language")
+	}
+	if (AudioQoS{Grade: TelephoneQuality}).Satisfies(anyLang) {
+		t.Error("telephone must not satisfy CD")
+	}
+}
+
+func TestTextAndImageQoS(t *testing.T) {
+	if !(TextQoS{Language: French}).Satisfies(TextQoS{}) {
+		t.Error("empty text constraint accepts any")
+	}
+	if (TextQoS{Language: English}).Satisfies(TextQoS{Language: French}) {
+		t.Error("language mismatch must fail")
+	}
+	if err := (TextQoS{}).Validate(); err != nil {
+		t.Errorf("text validate: %v", err)
+	}
+	img := ImageQoS{Color: Grey, Resolution: 480}
+	if !img.Satisfies(ImageQoS{Color: BlackWhite, Resolution: 100}) {
+		t.Error("better image should satisfy")
+	}
+	if img.Satisfies(ImageQoS{Color: Color, Resolution: 100}) {
+		t.Error("worse color must fail")
+	}
+	if err := (ImageQoS{Color: Grey, Resolution: 480}).Validate(); err != nil {
+		t.Errorf("image validate: %v", err)
+	}
+	if err := (ImageQoS{Color: Grey, Resolution: 1}).Validate(); err == nil {
+		t.Error("image resolution 1 must be invalid")
+	}
+}
+
+func TestSettingKindAndValidate(t *testing.T) {
+	cases := []struct {
+		s    Setting
+		kind MediaKind
+	}{
+		{VideoSetting(VideoQoS{Color, 25, 480}), Video},
+		{AudioSetting(AudioQoS{Grade: CDQuality}), Audio},
+		{ImageSetting(ImageQoS{Color: Grey, Resolution: 480}), Image},
+		{TextSetting(TextQoS{Language: French}), Text},
+	}
+	for _, c := range cases {
+		k, ok := c.s.Kind()
+		if !ok || k != c.kind {
+			t.Errorf("Kind() = %v,%v want %v", k, ok, c.kind)
+		}
+		if err := c.s.Validate(); err != nil {
+			t.Errorf("Validate(%v): %v", c.kind, err)
+		}
+	}
+	if _, ok := (Setting{}).Kind(); ok {
+		t.Error("zero setting has no kind")
+	}
+	if err := (Setting{}).Validate(); err == nil {
+		t.Error("zero setting must not validate")
+	}
+	two := Setting{Video: &VideoQoS{Color, 25, 480}, Text: &TextQoS{}}
+	if err := two.Validate(); err == nil {
+		t.Error("setting with two sections must not validate")
+	}
+}
+
+func TestSettingSatisfiesCrossKind(t *testing.T) {
+	v := VideoSetting(VideoQoS{SuperColor, 60, 1920})
+	a := AudioSetting(AudioQoS{Grade: CDQuality})
+	if v.Satisfies(a) || a.Satisfies(v) {
+		t.Error("settings of different kinds never satisfy each other")
+	}
+	if v.Satisfies(Setting{}) || (Setting{}).Satisfies(v) {
+		t.Error("zero settings never participate in satisfaction")
+	}
+	if !v.Satisfies(VideoSetting(VideoQoS{Color, 25, 480})) {
+		t.Error("better video must satisfy worse")
+	}
+}
+
+func TestSettingStrings(t *testing.T) {
+	s := VideoSetting(VideoQoS{Color, 25, 480}).String()
+	if !strings.Contains(s, "color") || !strings.Contains(s, "25 frames/s") {
+		t.Errorf("video setting string %q", s)
+	}
+	if got := (Setting{}).String(); got != "(unset)" {
+		t.Errorf("zero setting string %q", got)
+	}
+	if got := TextSetting(TextQoS{}).String(); got != "(any language)" {
+		t.Errorf("empty text string %q", got)
+	}
+}
+
+func TestSettingJSONRoundTrip(t *testing.T) {
+	in := VideoSetting(VideoQoS{Color: SuperColor, FrameRate: 30, Resolution: 720})
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Setting
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Video == nil || *out.Video != *in.Video {
+		t.Errorf("round trip: got %+v want %+v", out, in)
+	}
+	if out.Audio != nil || out.Image != nil || out.Text != nil {
+		t.Error("round trip populated extra sections")
+	}
+}
+
+// Property: Satisfies is reflexive and antisymmetric-compatible on valid
+// video QoS values.
+func TestVideoSatisfiesProperties(t *testing.T) {
+	gen := func(c, r, p uint16) VideoQoS {
+		return VideoQoS{
+			Color:      ColorQuality(c%4) + 1,
+			FrameRate:  int(r%60) + 1,
+			Resolution: int(p%1911) + 10,
+		}
+	}
+	reflexive := func(c, r, p uint16) bool {
+		v := gen(c, r, p)
+		return v.Satisfies(v)
+	}
+	if err := quick.Check(reflexive, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	transitive := func(a1, a2, a3, b1, b2, b3, c1, c2, c3 uint16) bool {
+		a, b, c := gen(a1, a2, a3), gen(b1, b2, b3), gen(c1, c2, c3)
+		if a.Satisfies(b) && b.Satisfies(c) {
+			return a.Satisfies(c)
+		}
+		return true
+	}
+	if err := quick.Check(transitive, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}

@@ -1,0 +1,109 @@
+package registry
+
+import (
+	"qosneg/internal/media"
+	"qosneg/internal/qos"
+)
+
+// This file implements the metadata queries of [Ker 95] ("Metadata
+// Modelling for Quality of Service Management in Distributed Multimedia
+// Systems"): the QoS manager's steps 2–3 pre-filter variants in the
+// database by format and QoS predicates instead of shipping whole
+// documents to the negotiation engine.
+
+// VariantQuery filters variants. Zero-valued fields do not constrain.
+type VariantQuery struct {
+	// Kind restricts to monomedia of one media kind.
+	Kind qos.MediaKind
+	// KindSet reports whether Kind is constrained (qos.Video is zero).
+	KindSet bool
+	// Formats restricts to variants in one of the given formats (the
+	// client machine's decoder list).
+	Formats []media.Format
+	// MinQoS keeps only variants whose QoS satisfies this floor (the
+	// worst-acceptable profile section for the kind).
+	MinQoS *qos.Setting
+	// Server restricts to variants stored on one server.
+	Server media.ServerID
+	// MaxAvgBitRate keeps only variants whose mapped average bit rate is
+	// at most this (capacity pre-filtering).
+	MaxAvgBitRate qos.BitRate
+}
+
+// matches reports whether a variant of a monomedia with the given kind
+// passes the query.
+func (q VariantQuery) matches(kind qos.MediaKind, v media.Variant) bool {
+	if q.KindSet && kind != q.Kind {
+		return false
+	}
+	if len(q.Formats) > 0 {
+		ok := false
+		for _, f := range q.Formats {
+			if v.Format == f {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if q.MinQoS != nil && !v.QoS.Satisfies(*q.MinQoS) {
+		return false
+	}
+	if q.Server != "" && v.Server != q.Server {
+		return false
+	}
+	if q.MaxAvgBitRate > 0 && v.NetworkQoS().AvgBitRate > q.MaxAvgBitRate {
+		return false
+	}
+	return true
+}
+
+// Hit is one query result: the variant plus its location in the catalog.
+type Hit struct {
+	Document  media.DocumentID
+	Monomedia media.MonomediaID
+	Variant   media.Variant
+}
+
+// FindVariants returns every variant in the catalog matching the query, in
+// document/monomedia/variant order.
+func (r *Registry) FindVariants(q VariantQuery) []Hit {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Hit
+	for _, id := range r.listLocked() {
+		d := r.docs[id]
+		for _, m := range d.Monomedia {
+			for _, v := range m.Variants {
+				if q.matches(m.Kind, v) {
+					out = append(out, Hit{Document: d.ID, Monomedia: m.ID, Variant: v})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DocumentsWithVariant returns the sorted ids of documents having at least
+// one variant matching the query — the "which articles can this machine
+// play at this quality" question the news-on-demand article list needs.
+func (r *Registry) DocumentsWithVariant(q VariantQuery) []media.DocumentID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []media.DocumentID
+	for _, id := range r.listLocked() {
+		d := r.docs[id]
+	doc:
+		for _, m := range d.Monomedia {
+			for _, v := range m.Variants {
+				if q.matches(m.Kind, v) {
+					out = append(out, id)
+					break doc
+				}
+			}
+		}
+	}
+	return out
+}

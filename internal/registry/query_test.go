@@ -1,0 +1,119 @@
+package registry
+
+import (
+	"testing"
+
+	"qosneg/internal/media"
+	"qosneg/internal/qos"
+)
+
+func queryFixture(t *testing.T) *Registry {
+	t.Helper()
+	r := New()
+	for _, d := range []media.Document{
+		testDoc("news-1", "Election", "s1", "s2"),
+		testDoc("news-2", "Hockey", "s1", "s2"),
+	} {
+		if err := r.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestFindVariantsByKind(t *testing.T) {
+	r := queryFixture(t)
+	hits := r.FindVariants(VariantQuery{Kind: qos.Video, KindSet: true})
+	// 2 docs × 2 video variants.
+	if len(hits) != 4 {
+		t.Fatalf("video hits = %d", len(hits))
+	}
+	for _, h := range hits {
+		if h.Variant.QoS.Video == nil {
+			t.Errorf("non-video hit: %+v", h)
+		}
+	}
+	// Unconstrained query returns everything.
+	all := r.FindVariants(VariantQuery{})
+	perDoc := 2 + 1 + 1 // video variants + audio + text
+	if len(all) != 2*perDoc {
+		t.Errorf("all hits = %d, want %d", len(all), 2*perDoc)
+	}
+}
+
+func TestFindVariantsByFormatAndServer(t *testing.T) {
+	r := queryFixture(t)
+	hits := r.FindVariants(VariantQuery{Formats: []media.Format{media.MPEG1}})
+	if len(hits) != 4 {
+		t.Fatalf("MPEG-1 hits = %d", len(hits))
+	}
+	s1 := r.FindVariants(VariantQuery{Server: "s1"})
+	s2 := r.FindVariants(VariantQuery{Server: "s2"})
+	if len(s1)+len(s2) != 2*4 {
+		t.Errorf("server partition = %d + %d", len(s1), len(s2))
+	}
+	for _, h := range s1 {
+		if h.Variant.Server != "s1" {
+			t.Errorf("stray hit: %+v", h.Variant.Server)
+		}
+	}
+}
+
+func TestFindVariantsByQoSFloor(t *testing.T) {
+	r := queryFixture(t)
+	floor := qos.VideoSetting(qos.VideoQoS{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution})
+	hits := r.FindVariants(VariantQuery{MinQoS: &floor})
+	// Only the color 25fps variant of each doc (the grey one is 15 fps).
+	if len(hits) != 2 {
+		t.Fatalf("floor hits = %d", len(hits))
+	}
+	for _, h := range hits {
+		if h.Variant.QoS.Video.Color != qos.Color {
+			t.Errorf("hit below floor: %+v", h.Variant.QoS.Video)
+		}
+	}
+}
+
+func TestFindVariantsByBitRate(t *testing.T) {
+	r := queryFixture(t)
+	// A very low cap keeps only the discrete (zero-rate) text variants.
+	hits := r.FindVariants(VariantQuery{MaxAvgBitRate: qos.KBitPerSecond})
+	for _, h := range hits {
+		if rate := h.Variant.NetworkQoS().AvgBitRate; rate > qos.KBitPerSecond {
+			t.Errorf("hit above cap: %v", rate)
+		}
+	}
+	if len(hits) == 0 {
+		t.Error("no hits under cap")
+	}
+}
+
+func TestDocumentsWithVariant(t *testing.T) {
+	r := queryFixture(t)
+	floor := qos.VideoSetting(qos.VideoQoS{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution})
+	docs := r.DocumentsWithVariant(VariantQuery{MinQoS: &floor})
+	if len(docs) != 2 || docs[0] != "news-1" || docs[1] != "news-2" {
+		t.Errorf("docs = %v", docs)
+	}
+	// An unsatisfiable floor matches nothing.
+	floor = qos.VideoSetting(qos.VideoQoS{Color: qos.SuperColor, FrameRate: 60, Resolution: 1920})
+	if docs := r.DocumentsWithVariant(VariantQuery{MinQoS: &floor}); len(docs) != 0 {
+		t.Errorf("impossible floor matched %v", docs)
+	}
+}
+
+func TestQueryIgnoresOtherKinds(t *testing.T) {
+	r := queryFixture(t)
+	// An audio floor should never match video variants even though the
+	// Satisfies comparison is cross-kind safe.
+	floor := qos.AudioSetting(qos.AudioQoS{Grade: qos.TelephoneQuality})
+	hits := r.FindVariants(VariantQuery{MinQoS: &floor})
+	for _, h := range hits {
+		if h.Variant.QoS.Audio == nil {
+			t.Errorf("non-audio hit: %+v", h.Variant.QoS)
+		}
+	}
+	if len(hits) != 2 { // one audio variant per doc
+		t.Errorf("audio hits = %d", len(hits))
+	}
+}

@@ -1,0 +1,208 @@
+// Package registry is the reproduction's stand-in for the distributed
+// multimedia database of the news-on-demand prototype ([Vit 95], University
+// of Alberta). The QoS negotiation procedure reads variant metadata from it:
+// which variants exist for each monomedia of a document, their formats, the
+// QoS they deliver, their block-length statistics (consumed by the Section 6
+// mapping) and their location (which server stores the file).
+//
+// The store is in-memory, safe for concurrent use, and persists to JSON so
+// the daemon and the experiment harness can share catalogs.
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"qosneg/internal/fsutil"
+	"qosneg/internal/media"
+)
+
+// ErrNotFound is returned for lookups of unknown documents or components.
+var ErrNotFound = errors.New("registry: not found")
+
+// Registry is the document/variant metadata catalog.
+type Registry struct {
+	mu   sync.RWMutex
+	docs map[media.DocumentID]media.Document
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{docs: make(map[media.DocumentID]media.Document)}
+}
+
+// Add validates and stores a document, replacing any document with the same
+// id.
+func (r *Registry) Add(d media.Document) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.docs[d.ID] = d
+	return nil
+}
+
+// Remove deletes the document with the given id.
+func (r *Registry) Remove(id media.DocumentID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.docs[id]; !ok {
+		return fmt.Errorf("%w: document %q", ErrNotFound, id)
+	}
+	delete(r.docs, id)
+	return nil
+}
+
+// Document returns the document with the given id.
+func (r *Registry) Document(id media.DocumentID) (media.Document, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.docs[id]
+	if !ok {
+		return media.Document{}, fmt.Errorf("%w: document %q", ErrNotFound, id)
+	}
+	return d, nil
+}
+
+// List returns every stored document id in sorted order.
+func (r *Registry) List() []media.DocumentID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]media.DocumentID, 0, len(r.docs))
+	for id := range r.docs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Len returns the number of stored documents.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.docs)
+}
+
+// SearchTitle returns the ids of documents whose title contains the query,
+// case-insensitively, in sorted order. The news-on-demand user interface
+// uses it to populate the article list.
+func (r *Registry) SearchTitle(query string) []media.DocumentID {
+	q := strings.ToLower(query)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var ids []media.DocumentID
+	for id, d := range r.docs {
+		if strings.Contains(strings.ToLower(d.Title), q) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Variants returns the available variants of one monomedia component.
+func (r *Registry) Variants(doc media.DocumentID, mono media.MonomediaID) ([]media.Variant, error) {
+	d, err := r.Document(doc)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := d.Component(mono)
+	if !ok {
+		return nil, fmt.Errorf("%w: monomedia %q of document %q", ErrNotFound, mono, doc)
+	}
+	out := make([]media.Variant, len(m.Variants))
+	copy(out, m.Variants)
+	return out, nil
+}
+
+// VariantsOnServer returns, per document, how many variants are stored on
+// the given server. The experiment harness uses it to check placement skew.
+func (r *Registry) VariantsOnServer(server media.ServerID) map[media.DocumentID]int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[media.DocumentID]int)
+	for id, d := range r.docs {
+		for _, m := range d.Monomedia {
+			for _, v := range m.Variants {
+				if v.Server == server {
+					out[id]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Servers returns the sorted set of server ids referenced by any variant.
+func (r *Registry) Servers() []media.ServerID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	set := make(map[media.ServerID]bool)
+	for _, d := range r.docs {
+		for _, m := range d.Monomedia {
+			for _, v := range m.Variants {
+				set[v.Server] = true
+			}
+		}
+	}
+	out := make([]media.ServerID, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SaveFile writes the catalog to path as JSON.
+func (r *Registry) SaveFile(path string) error {
+	r.mu.RLock()
+	docs := make([]media.Document, 0, len(r.docs))
+	for _, id := range r.listLocked() {
+		docs = append(docs, r.docs[id])
+	}
+	r.mu.RUnlock()
+	data, err := json.MarshalIndent(docs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsutil.WriteFileAtomic(path, data, 0o644)
+}
+
+func (r *Registry) listLocked() []media.DocumentID {
+	ids := make([]media.DocumentID, 0, len(r.docs))
+	for id := range r.docs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// LoadFile reads a catalog written by SaveFile, replacing the registry's
+// contents.
+func (r *Registry) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var docs []media.Document
+	if err := json.Unmarshal(data, &docs); err != nil {
+		return fmt.Errorf("registry %s: %w", path, err)
+	}
+	m := make(map[media.DocumentID]media.Document, len(docs))
+	for _, d := range docs {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("registry %s: %w", path, err)
+		}
+		m[d.ID] = d
+	}
+	r.mu.Lock()
+	r.docs = m
+	r.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,89 @@
+// Package transport is the transport system of the prototype: the facade
+// the QoS manager calls in negotiation step 5 to reserve end-to-end network
+// resources for one stream ("asks the transport system and the media file
+// servers to reserve resources to support the QoS associated with the
+// system offer"). It selects a path through the network substrate and
+// installs a bandwidth reservation on it, retrying alternate paths when a
+// concurrent reservation races it.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"qosneg/internal/network"
+	"qosneg/internal/qos"
+)
+
+// ErrUnavailable is returned when no feasible path can be reserved.
+var ErrUnavailable = errors.New("transport: no feasible path can be reserved")
+
+// Connection is an established end-to-end reservation.
+type Connection struct {
+	Reservation network.Reservation
+	Metrics     network.PathMetrics
+	// QoS is the request the connection was established for.
+	QoS qos.NetworkQoS
+}
+
+// System is the transport service. It is safe for concurrent use (the
+// underlying network serializes reservation state).
+type System struct {
+	net *network.Network
+	// alternates is how many candidate paths Connect tries.
+	alternates int
+}
+
+// New builds a transport system over the given network, trying up to
+// alternates candidate paths per connection request (minimum 1).
+func New(n *network.Network, alternates int) *System {
+	if alternates < 1 {
+		alternates = 1
+	}
+	return &System{net: n, alternates: alternates}
+}
+
+// Network exposes the underlying substrate (for congestion monitoring).
+func (s *System) Network() *network.Network { return s.net }
+
+// Connect reserves an end-to-end stream from src to dst with the given
+// network QoS. A request with zero throughput (discrete media) returns a
+// zero-valued Connection without touching the network: the prototype
+// fetches discrete media ahead of the presentation over the signalling
+// channel.
+func (s *System) Connect(src, dst network.NodeID, q qos.NetworkQoS) (Connection, error) {
+	if q.Zero() {
+		return Connection{QoS: q}, nil
+	}
+	paths, err := s.net.FindPaths(src, dst, q, s.alternates)
+	if err != nil {
+		return Connection{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	var lastErr error
+	for _, p := range paths {
+		r, err := s.net.Reserve(p, q)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		m, err := s.net.Metrics(p)
+		if err != nil {
+			// The path vanished between Reserve and Metrics; give the
+			// bandwidth back and try the next candidate.
+			s.net.Release(r.ID)
+			lastErr = err
+			continue
+		}
+		return Connection{Reservation: r, Metrics: m, QoS: q}, nil
+	}
+	return Connection{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
+}
+
+// Close releases a connection's reservation. Closing a zero-throughput
+// connection is a no-op.
+func (s *System) Close(c Connection) error {
+	if c.QoS.Zero() && c.Reservation.ID == 0 {
+		return nil
+	}
+	return s.net.Release(c.Reservation.ID)
+}

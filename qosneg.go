@@ -1,0 +1,206 @@
+// Package qosneg is a Go reproduction of "A Quality of Service Negotiation
+// Procedure for Distributed Multimedia Presentational Applications" (Hafid,
+// v. Bochmann, Kerhervé; HPDC-5, 1996): a QoS manager that negotiates an
+// optimal system configuration — which variant of each monomedia component
+// of a multimedia document to deliver, from which server, over which
+// network path — against a user profile of desired QoS, worst-acceptable
+// QoS, cost bounds and importance factors, and that automatically adapts
+// running sessions when servers or network links degrade.
+//
+// The package is a facade over the substrate packages (see DESIGN.md for
+// the full inventory): a metadata registry, continuous-media file servers
+// with disk-round admission control, a reservation-capable network, the
+// transport system, client machine models, the offer classification
+// machinery of the paper's Section 5, the six-step negotiation procedure of
+// Section 4, the adaptation monitor, a playout driver on a discrete-event
+// engine, a TCP wire protocol, and the profile manager's window flow.
+//
+// Quickstart:
+//
+//	sys, _ := qosneg.New(qosneg.Config{Clients: 1, Servers: 2})
+//	doc, _ := sys.AddNewsArticle("news-1", "Election night", 3*time.Minute)
+//	res, _ := sys.Negotiate("client-1", doc.ID, "tv-quality")
+//	if res.Status.Reserved() {
+//		sys.Manager.Confirm(res.Session.ID)
+//	}
+package qosneg
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"qosneg/internal/adaptation"
+	"qosneg/internal/client"
+	"qosneg/internal/cmfs"
+	"qosneg/internal/core"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/network"
+	"qosneg/internal/profile"
+	"qosneg/internal/protocol"
+	"qosneg/internal/qos"
+	"qosneg/internal/registry"
+	"qosneg/internal/session"
+	"qosneg/internal/sim"
+	"qosneg/internal/testbed"
+	"qosneg/internal/transport"
+)
+
+// Config parameterizes New. The zero value builds a two-client, two-server
+// star-topology system with the default disk model, link capacities, cost
+// tables and QoS-manager options.
+type Config struct {
+	// Clients is the number of client workstations (client-1..N).
+	Clients int
+	// Servers is the number of CMFS servers (server-1..M).
+	Servers int
+	// ServerConfig overrides the CMFS disk model.
+	ServerConfig *cmfs.Config
+	// AccessCapacity and BackboneCapacity override the star topology's
+	// link capacities.
+	AccessCapacity   qos.BitRate
+	BackboneCapacity qos.BitRate
+	// Options overrides the QoS manager options (classifier, choice
+	// period, path alternates).
+	Options *core.Options
+	// Pricing overrides the default cost tables (see cost.LoadPricing).
+	Pricing *cost.Pricing
+}
+
+// System is an assembled news-on-demand prototype: every component wired
+// together, plus a profile store pre-loaded with the factory profiles.
+type System struct {
+	Registry *registry.Registry
+	Network  *network.Network
+	Transit  *transport.System
+	Manager  *core.Manager
+	Servers  map[media.ServerID]*cmfs.Server
+	Clients  map[client.MachineID]client.Machine
+	Profiles *profile.Store
+	Pricing  cost.Pricing
+}
+
+// New assembles a system from the configuration.
+func New(cfg Config) (*System, error) {
+	bed, err := testbed.New(testbed.Spec{
+		Clients:          cfg.Clients,
+		Servers:          cfg.Servers,
+		ServerConfig:     cfg.ServerConfig,
+		AccessCapacity:   cfg.AccessCapacity,
+		BackboneCapacity: cfg.BackboneCapacity,
+		Options:          cfg.Options,
+		Pricing:          cfg.Pricing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	store := profile.NewStore()
+	for _, p := range profile.DefaultProfiles() {
+		if err := store.Save(p); err != nil {
+			return nil, err
+		}
+	}
+	return &System{
+		Registry: bed.Registry,
+		Network:  bed.Network,
+		Transit:  bed.Transit,
+		Manager:  bed.Manager,
+		Servers:  bed.Servers,
+		Clients:  bed.Clients,
+		Profiles: store,
+		Pricing:  bed.Pricing,
+	}, nil
+}
+
+// AddNewsArticle builds and registers a standard multi-variant news article
+// spread across the system's servers.
+func (s *System) AddNewsArticle(id media.DocumentID, title string, duration time.Duration) (media.Document, error) {
+	doc := media.BuildNewsArticle(media.NewsArticleSpec{
+		ID:       id,
+		Title:    title,
+		Duration: duration,
+		Servers:  s.serverIDs(),
+		VideoQualities: []qos.VideoQoS{
+			{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution},
+			{Color: qos.Color, FrameRate: 15, Resolution: qos.TVResolution},
+			{Color: qos.Grey, FrameRate: 25, Resolution: qos.TVResolution},
+			{Color: qos.BlackWhite, FrameRate: 15, Resolution: qos.TVResolution},
+		},
+		AudioQualities: []qos.AudioQoS{
+			{Grade: qos.CDQuality, Language: qos.English},
+			{Grade: qos.TelephoneQuality, Language: qos.English},
+		},
+		Languages:    []qos.Language{qos.English, qos.French},
+		CopyrightFee: 500,
+	})
+	if err := s.Registry.Add(doc); err != nil {
+		return media.Document{}, err
+	}
+	return doc, nil
+}
+
+// AddDocument registers an arbitrary document.
+func (s *System) AddDocument(d media.Document) error { return s.Registry.Add(d) }
+
+func (s *System) serverIDs() []media.ServerID {
+	out := make([]media.ServerID, 0, len(s.Servers))
+	for i := 1; ; i++ {
+		id := media.ServerID(fmt.Sprintf("server-%d", i))
+		if _, ok := s.Servers[id]; !ok {
+			break
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Client returns the machine with the given id.
+func (s *System) Client(id string) (client.Machine, error) {
+	m, ok := s.Clients[client.MachineID(id)]
+	if !ok {
+		return client.Machine{}, fmt.Errorf("qosneg: unknown client %q", id)
+	}
+	return m, nil
+}
+
+// Negotiate runs the negotiation procedure for a named client and a named
+// stored profile.
+func (s *System) Negotiate(clientID string, doc media.DocumentID, profileName string) (core.Result, error) {
+	mach, err := s.Client(clientID)
+	if err != nil {
+		return core.Result{}, err
+	}
+	u, err := s.Profiles.Get(profileName)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return s.Manager.Negotiate(mach, doc, u)
+}
+
+// NegotiateWith runs the negotiation procedure with an explicit machine and
+// profile.
+func (s *System) NegotiateWith(mach client.Machine, doc media.DocumentID, u profile.UserProfile) (core.Result, error) {
+	return s.Manager.Negotiate(mach, doc, u)
+}
+
+// Monitor builds the adaptation monitor over the system's substrate.
+func (s *System) Monitor() *adaptation.Monitor {
+	servers := make([]*cmfs.Server, 0, len(s.Servers))
+	for _, id := range s.serverIDs() {
+		servers = append(servers, s.Servers[id])
+	}
+	return adaptation.New(s.Manager, s.Network, servers...)
+}
+
+// Player builds a playout driver on the given simulation engine.
+func (s *System) Player(eng *sim.Engine) *session.Player {
+	return session.NewPlayer(eng, s.Manager)
+}
+
+// Serve exposes the system's QoS manager over the wire protocol on l; it
+// blocks until l is closed. The returned server's Close stops handlers.
+func (s *System) Serve(l net.Listener) (*protocol.Server, error) {
+	srv := protocol.NewServer(s.Manager, s.Registry)
+	return srv, srv.Serve(l)
+}

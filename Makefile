@@ -2,9 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover experiments examples fmt vet clean
+.PHONY: all build test race bench cover check experiments examples fmt vet clean
 
 all: build test
+
+# The full CI gate: vet, build, race-enabled tests and a smoke run of every
+# benchmark.
+check:
+	./scripts/check.sh
 
 build:
 	$(GO) build ./...

@@ -6,8 +6,10 @@
 package qosneg
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -48,7 +50,7 @@ func benchProfile() profile.UserProfile {
 
 func benchSystem(b *testing.B, clients, servers int) (*System, media.Document) {
 	b.Helper()
-	sys, err := New(Config{Clients: clients, Servers: servers})
+	sys, err := New(WithClients(clients), WithServers(servers))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -133,7 +135,7 @@ func BenchmarkE6Negotiate(b *testing.B) {
 	mach, _ := sys.Client("client-1")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sys.NegotiateWith(mach, doc.ID, u)
+		res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,13 +147,50 @@ func BenchmarkE6Negotiate(b *testing.B) {
 	}
 }
 
+// BenchmarkNegotiateParallel measures negotiate+reject rounds issued
+// concurrently by independent clients against shared servers: the
+// production shape of the workload, where the manager's session-table lock
+// must not serialize unrelated negotiations. clients=1 is the serial
+// baseline; higher counts interleave whole negotiations.
+func BenchmarkNegotiateParallel(b *testing.B) {
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			sys, doc := benchSystem(b, clients, 2)
+			u := benchProfile()
+			machines := make([]client.Machine, clients)
+			for i := range machines {
+				machines[i], _ = sys.Client(fmt.Sprintf("client-%d", i+1))
+			}
+			var next atomic.Uint64
+			b.SetParallelism(clients)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mach := machines[int(next.Add(1)-1)%clients]
+				for pb.Next() {
+					res, err := sys.Manager.Negotiate(mach, doc.ID, u)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if res.Session != nil {
+						if err := sys.Manager.Reject(res.Session.ID); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkE7Adaptation measures one adaptation transition: degrade the
 // serving machine, switch the session, recover, switch back.
 func BenchmarkE7Adaptation(b *testing.B) {
 	sys, doc := benchSystem(b, 1, 2)
 	u := benchProfile()
 	mach, _ := sys.Client("client-1")
-	res, err := sys.NegotiateWith(mach, doc.ID, u)
+	res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
 	if err != nil || !res.Status.Reserved() {
 		b.Fatalf("negotiate: %v %v", res.Status, err)
 	}
@@ -173,7 +212,7 @@ func BenchmarkE7Adaptation(b *testing.B) {
 // arrivals with playout and completion on the simulation clock.
 func BenchmarkE8Blocking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sys, err := New(Config{Clients: 4, Servers: 3, AccessCapacity: 25 * qos.MBitPerSecond})
+		sys, err := New(WithClients(4), WithServers(3), WithAccessCapacity(25*qos.MBitPerSecond))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -278,7 +317,7 @@ func BenchmarkE10Confirm(b *testing.B) {
 	mach, _ := sys.Client("client-1")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sys.NegotiateWith(mach, doc.ID, u)
+		res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
 		if err != nil || !res.Status.Reserved() {
 			b.Fatalf("negotiate: %v %v", res.Status, err)
 		}
@@ -299,7 +338,7 @@ func BenchmarkE11Atomic(b *testing.B) {
 	mach, _ := sys.Client("client-1")
 	b.Run("document-atomic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			res, err := sys.NegotiateWith(mach, doc.ID, u)
+			res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -375,7 +414,7 @@ func BenchmarkPlayout(b *testing.B) {
 		sys, doc := benchSystem(b, 1, 2)
 		u := benchProfile()
 		mach, _ := sys.Client("client-1")
-		res, err := sys.NegotiateWith(mach, doc.ID, u)
+		res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
 		if err != nil || !res.Status.Reserved() {
 			b.Fatalf("negotiate: %v %v", res.Status, err)
 		}
@@ -464,7 +503,7 @@ func BenchmarkRenegotiate(b *testing.B) {
 	sys, doc := benchSystem(b, 1, 2)
 	u := benchProfile()
 	mach, _ := sys.Client("client-1")
-	res, err := sys.NegotiateWith(mach, doc.ID, u)
+	res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
 	if err != nil || !res.Status.Reserved() {
 		b.Fatalf("negotiate: %v %v", res.Status, err)
 	}
@@ -513,7 +552,7 @@ func BenchmarkE15Federation(b *testing.B) {
 	var domains []*domain.Domain
 	var firstClient client.Machine
 	for i := 0; i < 3; i++ {
-		sys, err := New(Config{Clients: 1, Servers: 2})
+		sys, err := New(WithClients(1), WithServers(2))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -554,7 +593,7 @@ func BenchmarkE16MonitorScan(b *testing.B) {
 	u := benchProfile()
 	for i := 0; i < 6; i++ {
 		mach, _ := sys.Client(fmt.Sprintf("client-%d", i%2+1))
-		res, err := sys.NegotiateWith(mach, doc.ID, u)
+		res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
 		if err != nil || !res.Status.Reserved() {
 			break
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -93,7 +94,7 @@ func renderWindows(store *profile.Store, which string) {
 }
 
 func runFlow(store *profile.Store, profileName string) {
-	sys, err := qosneg.New(qosneg.Config{Clients: 1, Servers: 2})
+	sys, err := qosneg.New(qosneg.WithClients(1), qosneg.WithServers(2))
 	if err != nil {
 		log.Fatalf("profiletool: %v", err)
 	}
@@ -103,7 +104,7 @@ func runFlow(store *profile.Store, profileName string) {
 	}
 
 	negotiate := func(u profile.UserProfile) (profilemgr.Outcome, error) {
-		res, err := sys.NegotiateWith(mustClient(sys), doc.ID, u)
+		res, err := sys.NegotiateWith(context.Background(), mustClient(sys), doc.ID, u)
 		if err != nil {
 			return profilemgr.Outcome{}, err
 		}

@@ -36,23 +36,23 @@ func main() {
 	articles := flag.Int("articles", 5, "synthetic articles to create when no catalog is given")
 	flag.Parse()
 
-	cfg := qosneg.Config{Clients: *clients, Servers: *servers}
+	options := []qosneg.Option{qosneg.WithClients(*clients), qosneg.WithServers(*servers)}
 	if *verbose {
 		opts := core.DefaultOptions()
 		opts.Trace = func(e core.TraceEvent) {
 			log.Printf("negotiate: %-14s %-24s %s", e.Step, e.Offer, e.Detail)
 		}
-		cfg.Options = &opts
+		options = append(options, qosneg.WithOptions(opts))
 	}
 	if *tariff != "" {
 		p, err := cost.LoadPricing(*tariff)
 		if err != nil {
 			log.Fatalf("qosnegd: loading tariff: %v", err)
 		}
-		cfg.Pricing = &p
+		options = append(options, qosneg.WithPricing(p))
 		log.Printf("loaded tariff from %s", *tariff)
 	}
-	sys, err := qosneg.New(cfg)
+	sys, err := qosneg.New(options...)
 	if err != nil {
 		log.Fatalf("qosnegd: %v", err)
 	}

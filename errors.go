@@ -1,0 +1,34 @@
+package qosneg
+
+import (
+	"errors"
+
+	"qosneg/internal/core"
+	"qosneg/internal/offer"
+	"qosneg/internal/profile"
+)
+
+// The facade's error contract; see the package comment. Each sentinel
+// matches via errors.Is against errors returned anywhere in the public
+// surface, including through the System facade and the core.Manager.
+var (
+	// ErrClientNotFound is returned by System.Client and the negotiation
+	// helpers for a client id the system was not assembled with.
+	ErrClientNotFound = errors.New("qosneg: unknown client")
+
+	// ErrProfileNotFound is returned for a profile name not in the store.
+	ErrProfileNotFound = profile.ErrNotFound
+
+	// ErrSessionNotFound is returned by session operations (Confirm,
+	// Reject, Renegotiate, Adapt, Invoice, ...) for an unknown session id.
+	ErrSessionNotFound = core.ErrUnknownSession
+
+	// ErrChoicePeriodExpired is returned by session operations when the
+	// step 6 choice period elapsed before the user acted; the session was
+	// aborted and its resources released.
+	ErrChoicePeriodExpired = core.ErrChoicePeriodExpired
+
+	// ErrTooManyOffers is returned by negotiation when the document's
+	// variant product exceeds the enumeration bound.
+	ErrTooManyOffers = offer.ErrTooManyOffers
+)

@@ -1,6 +1,7 @@
 package qosneg_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,11 +11,12 @@ import (
 	"qosneg/internal/sim"
 )
 
-// Example shows the complete public-API flow: assemble a system, register a
-// news article, negotiate with a factory profile, confirm and play to
-// completion on the simulation clock.
+// Example shows the complete public-API flow: assemble a system with
+// functional options, register a news article, negotiate with a factory
+// profile under a context, confirm and play to completion on the
+// simulation clock.
 func Example() {
-	sys, err := qosneg.New(qosneg.Config{Clients: 1, Servers: 2})
+	sys, err := qosneg.New(qosneg.WithClients(1), qosneg.WithServers(2))
 	if err != nil {
 		panic(err)
 	}
@@ -22,7 +24,9 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := sys.Negotiate("client-1", doc.ID, "tv-quality")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	res, err := sys.Negotiate(ctx, "client-1", doc.ID, "tv-quality")
 	if err != nil {
 		panic(err)
 	}

@@ -24,11 +24,11 @@ import (
 )
 
 func main() {
-	sys, err := qosneg.New(qosneg.Config{
-		Clients:        4,
-		Servers:        3,
-		AccessCapacity: 25 * qos.MBitPerSecond,
-	})
+	sys, err := qosneg.New(
+		qosneg.WithClients(4),
+		qosneg.WithServers(3),
+		qosneg.WithAccessCapacity(25*qos.MBitPerSecond),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	sys, err := qosneg.New(qosneg.Config{Clients: 2, Servers: 2})
+	sys, err := qosneg.New(qosneg.WithClients(2), qosneg.WithServers(2))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -16,7 +17,7 @@ import (
 func main() {
 	// A system with one client workstation and two media file servers
 	// around a switch, default cost tables and disk models.
-	sys, err := qosneg.New(qosneg.Config{Clients: 1, Servers: 2})
+	sys, err := qosneg.New(qosneg.WithClients(1), qosneg.WithServers(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func main() {
 
 	// Negotiate with the factory "tv-quality" profile: color video at
 	// 25 frames/s TV resolution, CD audio, 6$ budget.
-	res, err := sys.Negotiate("client-1", doc.ID, "tv-quality")
+	res, err := sys.Negotiate(context.Background(), "client-1", doc.ID, "tv-quality")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package qosneg
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ import (
 // automatic adaptation → completion, with resource and revenue accounting
 // checked at every stage.
 func TestFullLifecycle(t *testing.T) {
-	sys, err := New(Config{Clients: 2, Servers: 2})
+	sys, err := New(WithClients(2), WithServers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestFullLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, err := sys.Negotiate("client-1", doc.ID, "tv-quality")
+	res, err := sys.Negotiate(context.Background(), "client-1", doc.ID, "tv-quality")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestFullLifecycle(t *testing.T) {
 // deterministic fingerprint of everything that happened.
 func lifecycleTrace(t *testing.T, seed int64) string {
 	t.Helper()
-	sys, err := New(Config{Clients: 4, Servers: 3, AccessCapacity: 25 * qos.MBitPerSecond})
+	sys, err := New(WithClients(4), WithServers(3), WithAccessCapacity(25*qos.MBitPerSecond))
 	if err != nil {
 		t.Fatal(err)
 	}

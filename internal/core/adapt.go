@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"qosneg/internal/cmfs"
@@ -30,11 +31,9 @@ type Transition struct {
 // alternate configuration, keeping its playout position. On failure the
 // session is aborted and ErrAdaptationFailed returned.
 func (m *Manager) Adapt(id SessionID) (Transition, error) {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
-	m.mu.Unlock()
-	if !ok {
-		return Transition{}, fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	s, err := m.Session(id)
+	if err != nil {
+		return Transition{}, err
 	}
 	s.mu.Lock()
 	if s.state != Playing {
@@ -69,7 +68,7 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 			if r.Key() == current.Key() {
 				continue
 			}
-			cm, ok := m.tryCommit(mach, d, u, r)
+			cm, ok := m.tryCommit(context.Background(), mach, d, u, r)
 			if !ok {
 				continue
 			}
@@ -79,9 +78,9 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 			s.transition++
 			pos := s.position
 			s.mu.Unlock()
-			m.mu.Lock()
+			m.statsMu.Lock()
 			m.stats.Adaptations++
-			m.mu.Unlock()
+			m.statsMu.Unlock()
 			return Transition{Session: id, From: current, To: r, Position: int64(pos)}, nil
 		}
 	}
@@ -89,9 +88,9 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 	s.mu.Lock()
 	s.state = Aborted
 	s.mu.Unlock()
-	m.mu.Lock()
+	m.statsMu.Lock()
 	m.stats.AdaptationFailures++
-	m.mu.Unlock()
+	m.statsMu.Unlock()
 	return Transition{}, fmt.Errorf("%w: session %d", ErrAdaptationFailed, id)
 }
 
@@ -99,8 +98,8 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 // the given CMFS reservation; the adaptation monitor uses it to map server
 // overcommitments to sessions.
 func (m *Manager) SessionByServerReservation(server media.ServerID, res cmfs.ReservationID) (*Session, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.sessMu.RLock()
+	defer m.sessMu.RUnlock()
 	for _, s := range m.sessions {
 		s.mu.Lock()
 		if s.state != Playing && s.state != Reserved {
@@ -121,8 +120,8 @@ func (m *Manager) SessionByServerReservation(server media.ServerID, res cmfs.Res
 // SessionByNetworkReservation finds the playing or reserved session holding
 // the given network reservation.
 func (m *Manager) SessionByNetworkReservation(res network.ReservationID) (*Session, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.sessMu.RLock()
+	defer m.sessMu.RUnlock()
 	for _, s := range m.sessions {
 		s.mu.Lock()
 		if s.state != Playing && s.state != Reserved {

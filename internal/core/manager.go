@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,12 +31,18 @@ var ErrBadState = errors.New("core: invalid session state")
 // committed for a degraded session.
 var ErrAdaptationFailed = errors.New("core: adaptation failed, no alternate offer supportable")
 
+// ErrChoicePeriodExpired is returned for operations on a session whose
+// choice period elapsed before the user confirmed (step 6's time-out: "If a
+// time-out is reached the session is simply aborted").
+var ErrChoicePeriodExpired = errors.New("core: choice period expired")
+
 // TraceEvent records one decision of the negotiation procedure; install a
 // tracer via Options.Trace to see why the QoS manager picked (or skipped)
 // each offer — the explainability side of "smart negotiation".
 type TraceEvent struct {
 	// Step names the decision point: "local-failed", "no-variant",
-	// "commit-attempt", "commit-failed", "committed", "exhausted".
+	// "commit-attempt", "choice-committed", "commit-failed", "committed",
+	// "exhausted".
 	Step string
 	// Offer is the offer key at commit decision points.
 	Offer string
@@ -46,7 +53,9 @@ type TraceEvent struct {
 // Options tunes the QoS manager.
 type Options struct {
 	// Classifier orders the feasible offers; nil selects the paper's
-	// SNS-primary classification.
+	// SNS-primary classification. Classifiers that also implement
+	// offer.Orderer (all built-ins do) run on the streaming parallel
+	// pipeline; others fall back to materialize-and-sort.
 	Classifier offer.Classifier
 	// Trace, when non-nil, receives a TraceEvent per negotiation
 	// decision. Must be fast and non-blocking; called on the negotiating
@@ -60,6 +69,30 @@ type Options struct {
 	// PathAlternates is how many candidate network paths the transport
 	// system tries per stream.
 	PathAlternates int
+	// Concurrency bounds the pipeline's worker pool per negotiation;
+	// 0 selects GOMAXPROCS.
+	Concurrency int
+	// TopK bounds how many classified offers each negotiation keeps for
+	// commitment and later adaptation; 0 selects DefaultTopK, negative
+	// keeps the full classified set.
+	TopK int
+}
+
+// DefaultTopK is how many classified offers a negotiation retains by
+// default: enough alternates for step 5's fallback commitment and the
+// adaptation procedure, without holding a 2^20-offer product per session.
+const DefaultTopK = 64
+
+// topK resolves the classification bound.
+func (o Options) topK() int {
+	switch {
+	case o.TopK == 0:
+		return DefaultTopK
+	case o.TopK < 0:
+		return 0
+	default:
+		return o.TopK
+	}
 }
 
 // DefaultOptions returns the options used by the examples: SNS-primary
@@ -95,20 +128,29 @@ type Result struct {
 
 // Manager is the QoS manager: it owns the negotiation procedure, the
 // session table and the adaptation procedure. It is safe for concurrent
-// use.
+// use: the negotiation pipeline runs lock-free, and independent
+// negotiations from different clients proceed concurrently — the manager's
+// locks only cover the session table, the server registry and the outcome
+// counters, each separately.
 type Manager struct {
 	registry  *registry.Registry
 	transport *transport.System
 	pricing   cost.Pricing
 	opts      Options
 
-	mu       sync.Mutex
-	servers  map[media.ServerID]serverEntry
+	// sessMu guards the session table and id counter only; negotiations
+	// never hold it while enumerating, classifying or committing.
+	sessMu   sync.RWMutex
 	sessions map[SessionID]*Session
 	nextID   SessionID
 
-	// stats accumulates negotiation outcomes for the experiments.
-	stats Stats
+	// srvMu guards the (read-mostly) server registry.
+	srvMu   sync.RWMutex
+	servers map[media.ServerID]serverEntry
+
+	// statsMu guards the outcome counters.
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 type serverEntry struct {
@@ -151,15 +193,15 @@ func NewManager(reg *registry.Registry, ts *transport.System, pricing cost.Prici
 
 // AddServer registers a media file server and its network attachment point.
 func (m *Manager) AddServer(s *cmfs.Server, node network.NodeID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.srvMu.Lock()
+	defer m.srvMu.Unlock()
 	m.servers[s.ID()] = serverEntry{server: s, node: node}
 }
 
 // Stats returns a snapshot of the outcome counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
 	return m.stats
 }
 
@@ -170,8 +212,8 @@ type negOutcome struct {
 	reason     string
 	violations []client.LocalViolation
 	localOffer *profile.MMProfile
-	// ranked is the full classified offer list (steps 3–4); set whenever
-	// enumeration succeeded.
+	// ranked is the classified offer list (steps 3–4), bounded by
+	// Options.TopK; set whenever enumeration succeeded.
 	ranked []offer.Ranked
 	// chosen and commit are set when resources were reserved.
 	chosen offer.Ranked
@@ -185,8 +227,35 @@ func (m *Manager) trace(step, offerKey, detail string) {
 	}
 }
 
+// classify runs steps 2–4: enumeration, classification parameters and
+// classification. Orderer-capable classifiers (all built-ins) run the
+// streaming parallel pipeline, which keeps only the top-K offers; other
+// classifiers materialize the product and sort it.
+func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.Machine, u profile.UserProfile) ([]offer.Ranked, error) {
+	if orderer, ok := m.opts.Classifier.(offer.Orderer); ok {
+		return offer.EnumerateTopK(ctx, doc, mach, m.pricing, u, offer.PipelineOptions{
+			MaxOffers: m.opts.MaxOffers,
+			Guarantee: u.Desired.Cost.Guarantee,
+			Workers:   m.opts.Concurrency,
+			TopK:      m.opts.topK(),
+			Orderer:   orderer,
+		})
+	}
+	offers, err := offer.Enumerate(doc, mach, m.pricing, offer.EnumerateOptions{
+		MaxOffers: m.opts.MaxOffers,
+		Guarantee: u.Desired.Cost.Guarantee,
+		Workers:   m.opts.Concurrency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ranked := offer.Rank(offers, u)
+	m.opts.Classifier.Sort(ranked)
+	return ranked, nil
+}
+
 // runProcedure executes steps 1–5 of Section 4.
-func (m *Manager) runProcedure(mach client.Machine, doc media.Document, u profile.UserProfile) (negOutcome, error) {
+func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc media.Document, u profile.UserProfile) (negOutcome, error) {
 	// Step 1: static local negotiation.
 	if violations := mach.CheckLocal(u.Desired); len(violations) > 0 {
 		local := mach.LocalOffer(u.Desired)
@@ -199,11 +268,10 @@ func (m *Manager) runProcedure(mach client.Machine, doc media.Document, u profil
 		}, nil
 	}
 
-	// Step 2: static compatibility checking + offer enumeration.
-	offers, err := offer.Enumerate(doc, mach, m.pricing, offer.EnumerateOptions{
-		MaxOffers: m.opts.MaxOffers,
-		Guarantee: u.Desired.Cost.Guarantee,
-	})
+	// Steps 2–4: static compatibility checking, offer enumeration,
+	// classification parameters and classification, on the streaming
+	// parallel pipeline.
+	ranked, err := m.classify(ctx, doc, mach, u)
 	if err != nil {
 		var nv *offer.NoVariantError
 		if errors.As(err, &nv) {
@@ -215,18 +283,18 @@ func (m *Manager) runProcedure(mach client.Machine, doc media.Document, u profil
 		}
 		return negOutcome{}, err
 	}
-
-	// Steps 3–4: classification parameters + classification.
-	ranked := offer.Rank(offers, u)
-	m.opts.Classifier.Sort(ranked)
 	acceptable, feasible := offer.Partition(ranked, u)
 
 	// Step 5: resource commitment, acceptable set first.
 	for _, group := range [][]offer.Ranked{acceptable, feasible} {
 		for _, r := range group {
 			m.trace("commit-attempt", r.Key(), fmt.Sprintf("%s OIF=%.4g %s", r.Status, r.OIF, r.Total()))
-			cm, ok := m.tryCommit(mach, doc, u, r)
+			cm, ok := m.tryCommit(ctx, mach, doc, u, r)
 			if !ok {
+				if err := ctx.Err(); err != nil {
+					m.trace("commit-failed", r.Key(), err.Error())
+					return negOutcome{}, err
+				}
 				m.trace("commit-failed", r.Key(), "insufficient resources or constraint violated")
 				continue
 			}
@@ -256,20 +324,31 @@ func (m *Manager) choicePeriodFor(u profile.UserProfile) time.Duration {
 	return m.opts.ChoicePeriod
 }
 
-// Negotiate runs the negotiation procedure of Section 4 for the given
-// client machine, document and user profile. The returned Result carries
-// the negotiation status and, when resources were reserved, the session the
-// user must confirm within the choice period.
+// Negotiate runs the negotiation procedure with no cancellation.
+//
+// Deprecated: use NegotiateContext, which bounds the pipeline with the
+// caller's context.
 func (m *Manager) Negotiate(mach client.Machine, docID media.DocumentID, u profile.UserProfile) (Result, error) {
+	return m.NegotiateContext(context.Background(), mach, docID, u)
+}
+
+// NegotiateContext runs the negotiation procedure of Section 4 for the
+// given client machine, document and user profile. The returned Result
+// carries the negotiation status and, when resources were reserved, the
+// session the user must confirm within the choice period.
+//
+// Canceling ctx aborts the pipeline between stages and rolls back any
+// partially committed resources; the context's error is returned.
+func (m *Manager) NegotiateContext(ctx context.Context, mach client.Machine, docID media.DocumentID, u profile.UserProfile) (Result, error) {
 	doc, err := m.registry.Document(docID)
 	if err != nil {
 		return Result{}, err
 	}
-	m.mu.Lock()
+	m.statsMu.Lock()
 	m.stats.Requests++
-	m.mu.Unlock()
+	m.statsMu.Unlock()
 
-	out, err := m.runProcedure(mach, doc, u)
+	out, err := m.runProcedure(ctx, mach, doc, u)
 	if err != nil {
 		return Result{}, err
 	}
@@ -292,33 +371,43 @@ func (m *Manager) Negotiate(mach client.Machine, docID media.DocumentID, u profi
 		state:        Reserved,
 		commit:       out.commit,
 	}
-	m.mu.Lock()
+	m.sessMu.Lock()
 	m.nextID++
 	sess.ID = m.nextID
 	m.sessions[sess.ID] = sess
-	m.mu.Unlock()
+	m.sessMu.Unlock()
 	uo := out.chosen.UserOffer()
 	return Result{Status: out.status, Offer: &uo, Session: sess}, nil
 }
 
-// Renegotiate re-runs the negotiation procedure for a reserved session with
-// a modified user profile: the GUI's "modify the offer and then push OK to
-// initiate a renegotiation" (Section 8). The session's current reservation
-// is released first; on success the same session holds the new offer and a
-// fresh choice period, on failure (any non-reserved status) the session is
-// aborted and the Result explains why.
+// Renegotiate re-runs the negotiation for a reserved session with no
+// cancellation.
+//
+// Deprecated: use RenegotiateContext, which bounds the pipeline with the
+// caller's context.
 func (m *Manager) Renegotiate(id SessionID, u profile.UserProfile) (Result, error) {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
-	m.mu.Unlock()
-	if !ok {
-		return Result{}, fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	return m.RenegotiateContext(context.Background(), id, u)
+}
+
+// RenegotiateContext re-runs the negotiation procedure for a reserved
+// session with a modified user profile: the GUI's "modify the offer and
+// then push OK to initiate a renegotiation" (Section 8). The session's
+// current reservation is released first; on success the same session holds
+// the new offer and a fresh choice period, on failure (any non-reserved
+// status) the session is aborted and the Result explains why. A canceled
+// ctx aborts the session and returns the context's error.
+func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profile.UserProfile) (Result, error) {
+	s, err := m.Session(id)
+	if err != nil {
+		return Result{}, err
 	}
 	s.mu.Lock()
 	if s.state != Reserved {
-		st := s.state
-		s.mu.Unlock()
-		return Result{}, fmt.Errorf("%w: renegotiate in state %v", ErrBadState, st)
+		defer s.mu.Unlock()
+		if s.expired {
+			return Result{}, fmt.Errorf("%w: session %d", ErrChoicePeriodExpired, id)
+		}
+		return Result{}, fmt.Errorf("%w: renegotiate in state %v", ErrBadState, s.state)
 	}
 	mach := s.Machine
 	docID := s.Document
@@ -333,10 +422,10 @@ func (m *Manager) Renegotiate(id SessionID, u profile.UserProfile) (Result, erro
 	}
 	m.release(old)
 
-	m.mu.Lock()
+	m.statsMu.Lock()
 	m.stats.Requests++
-	m.mu.Unlock()
-	out, err := m.runProcedure(mach, doc, u)
+	m.statsMu.Unlock()
+	out, err := m.runProcedure(ctx, mach, doc, u)
 	if err != nil {
 		m.Abort(id)
 		return Result{}, err
@@ -365,8 +454,8 @@ func (m *Manager) Renegotiate(id SessionID, u profile.UserProfile) (Result, erro
 }
 
 func (m *Manager) count(s NegotiationStatus) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
 	switch s {
 	case Succeeded:
 		m.stats.Succeeded++
@@ -381,9 +470,18 @@ func (m *Manager) count(s NegotiationStatus) {
 	}
 }
 
+// serverFor looks up a registered server under the read lock.
+func (m *Manager) serverFor(id media.ServerID) (serverEntry, bool) {
+	m.srvMu.RLock()
+	defer m.srvMu.RUnlock()
+	entry, ok := m.servers[id]
+	return entry, ok
+}
+
 // tryCommit reserves server and network resources for every choice of the
-// offer. It either commits everything or rolls back and reports failure.
-func (m *Manager) tryCommit(mach client.Machine, doc media.Document, u profile.UserProfile, r offer.Ranked) (commitment, bool) {
+// offer. It either commits everything or rolls back and reports failure;
+// a ctx canceled mid-commit rolls back the partial commitment.
+func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.Document, u profile.UserProfile, r offer.Ranked) (commitment, bool) {
 	var cm commitment
 	rollback := func() {
 		for _, sr := range cm.servers {
@@ -396,9 +494,11 @@ func (m *Manager) tryCommit(mach client.Machine, doc media.Document, u profile.U
 	var startDelay time.Duration
 	jitterByMono := make(map[media.MonomediaID]time.Duration, len(r.Choices))
 	for _, ch := range r.Choices {
-		m.mu.Lock()
-		entry, ok := m.servers[ch.Variant.Server]
-		m.mu.Unlock()
+		if ctx.Err() != nil {
+			rollback()
+			return commitment{}, false
+		}
+		entry, ok := m.serverFor(ch.Variant.Server)
 		if !ok {
 			rollback()
 			return commitment{}, false
@@ -416,6 +516,7 @@ func (m *Manager) tryCommit(mach client.Machine, doc media.Document, u profile.U
 			return commitment{}, false
 		}
 		cm.conns = append(cm.conns, conn)
+		m.trace("choice-committed", r.Key(), string(ch.Monomedia))
 		if d := conn.Metrics.Delay + entry.server.Config().RoundLength; d > startDelay {
 			startDelay = d
 		}
@@ -458,7 +559,8 @@ func (m *Manager) release(cm commitment) {
 }
 
 // Confirm is step 6's acceptance: the session moves from Reserved to
-// Playing and the presentation starts.
+// Playing and the presentation starts. Confirming after the choice period
+// was enforced returns ErrChoicePeriodExpired.
 func (m *Manager) Confirm(id SessionID) error {
 	s, err := m.Session(id)
 	if err != nil {
@@ -467,26 +569,44 @@ func (m *Manager) Confirm(id SessionID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state != Reserved {
+		if s.expired {
+			return fmt.Errorf("%w: session %d", ErrChoicePeriodExpired, id)
+		}
 		return fmt.Errorf("%w: confirm in state %v", ErrBadState, s.state)
 	}
 	s.state = Playing
 	return nil
 }
 
-// Reject is step 6's rejection (or the choicePeriod time-out): reserved
-// resources are de-allocated and the session is aborted.
+// Reject is step 6's rejection: reserved resources are de-allocated and the
+// session is aborted.
 func (m *Manager) Reject(id SessionID) error {
+	return m.expireOrReject(id, false)
+}
+
+// Expire is step 6's time-out: like Reject, but the session is marked
+// expired so later Confirm/Reject/Renegotiate calls report
+// ErrChoicePeriodExpired instead of a bare state error. The protocol
+// server's choice-period timers call it.
+func (m *Manager) Expire(id SessionID) error {
+	return m.expireOrReject(id, true)
+}
+
+func (m *Manager) expireOrReject(id SessionID, expire bool) error {
 	s, err := m.Session(id)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
 	if s.state != Reserved {
-		st := s.state
-		s.mu.Unlock()
-		return fmt.Errorf("%w: reject in state %v", ErrBadState, st)
+		defer s.mu.Unlock()
+		if s.expired {
+			return fmt.Errorf("%w: session %d", ErrChoicePeriodExpired, id)
+		}
+		return fmt.Errorf("%w: reject in state %v", ErrBadState, s.state)
 	}
 	s.state = Aborted
+	s.expired = expire
 	cm := s.commit
 	s.commit = commitment{}
 	s.mu.Unlock()
@@ -528,9 +648,9 @@ func (m *Manager) Complete(id SessionID) error {
 	price := s.Current.Total()
 	s.mu.Unlock()
 	m.release(cm)
-	m.mu.Lock()
+	m.statsMu.Lock()
 	m.stats.Revenue += price
-	m.mu.Unlock()
+	m.statsMu.Unlock()
 	return nil
 }
 
@@ -555,8 +675,8 @@ func (m *Manager) Abort(id SessionID) error {
 
 // Session returns the session with the given id.
 func (m *Manager) Session(id SessionID) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.sessMu.RLock()
+	defer m.sessMu.RUnlock()
 	s, ok := m.sessions[id]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownSession, id)
@@ -566,8 +686,8 @@ func (m *Manager) Session(id SessionID) (*Session, error) {
 
 // Sessions returns every session in a given state.
 func (m *Manager) Sessions(state SessionState) []*Session {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.sessMu.RLock()
+	defer m.sessMu.RUnlock()
 	var out []*Session
 	for _, s := range m.sessions {
 		if s.State() == state {
@@ -587,12 +707,12 @@ type ServerLoad struct {
 // ServerLoads reports each registered media server's current load, sorted
 // by id; the ops view behind `qosctl servers`.
 func (m *Manager) ServerLoads() []ServerLoad {
-	m.mu.Lock()
+	m.srvMu.RLock()
 	entries := make([]serverEntry, 0, len(m.servers))
 	for _, e := range m.servers {
 		entries = append(entries, e)
 	}
-	m.mu.Unlock()
+	m.srvMu.RUnlock()
 	out := make([]ServerLoad, 0, len(entries))
 	for _, e := range entries {
 		out = append(out, ServerLoad{

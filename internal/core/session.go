@@ -71,13 +71,16 @@ type Session struct {
 
 	// mu guards the mutable fields below plus Current, Ranked, Profile
 	// and ChoicePeriod when they are rewritten by renegotiation or
-	// adaptation. Lock ordering: Manager.mu before Session.mu, never the
-	// reverse.
+	// adaptation. Lock ordering: Manager.sessMu before Session.mu, never
+	// the reverse.
 	mu         sync.Mutex
 	state      SessionState
 	position   time.Duration
 	commit     commitment
 	transition int // number of adaptation transitions performed
+	// expired marks an Aborted session whose choice period timed out, so
+	// late Confirm/Reject/Renegotiate calls get ErrChoicePeriodExpired.
+	expired bool
 }
 
 // State returns the session's lifecycle state.

@@ -187,17 +187,27 @@ func (g Guarantee) String() string {
 func (p Pricing) Document(copyright Money, g Guarantee, items []Item) Breakdown {
 	b := Breakdown{Copyright: copyright, Total: copyright}
 	for _, it := range items {
-		net := p.Network.Cost(it.Rate, it.Duration)
-		ser := p.Server.Cost(it.Rate, it.Duration)
-		if g == Guaranteed && p.GuaranteedMarkupPercent > 0 {
-			net += net * Money(p.GuaranteedMarkupPercent) / 100
-			ser += ser * Money(p.GuaranteedMarkupPercent) / 100
-		}
+		net, ser := p.ItemCost(g, it)
 		b.Network = append(b.Network, net)
 		b.Server = append(b.Server, ser)
 		b.Total += net + ser
 	}
 	return b
+}
+
+// ItemCost prices one continuous-media item: the network and server charges
+// for delivering it under the guarantee, including the guaranteed-service
+// markup. Document sums ItemCost over its items; the negotiation pipeline
+// prices each candidate variant once with ItemCost and reuses the result
+// across every system offer the variant appears in.
+func (p Pricing) ItemCost(g Guarantee, it Item) (network, server Money) {
+	network = p.Network.Cost(it.Rate, it.Duration)
+	server = p.Server.Cost(it.Rate, it.Duration)
+	if g == Guaranteed && p.GuaranteedMarkupPercent > 0 {
+		network += network * Money(p.GuaranteedMarkupPercent) / 100
+		server += server * Money(p.GuaranteedMarkupPercent) / 100
+	}
+	return network, server
 }
 
 // DefaultPricing returns the cost tables used by the reproduction's

@@ -1,12 +1,15 @@
 package offer
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"qosneg/internal/client"
 	"qosneg/internal/cost"
 	"qosneg/internal/media"
+	"qosneg/internal/qos"
 )
 
 // ErrTooManyOffers is returned when the cartesian product of variants
@@ -32,6 +35,190 @@ type EnumerateOptions struct {
 	MaxOffers int
 	// Guarantee selects the service guarantee priced into each offer.
 	Guarantee cost.Guarantee
+	// Workers bounds the per-monomedia filtering fan-out; 0 filters on the
+	// calling goroutine.
+	Workers int
+}
+
+// Candidate is one decodable variant of a monomedia component, annotated
+// with everything the enumeration pipeline needs per offer: the Section 6
+// user-QoS → network-QoS mapping and the Section 7 cost of the variant's
+// stream. Filtering computes these once per variant, so building one system
+// offer out of candidates costs a few additions instead of repeated mapping
+// and tariff lookups.
+type Candidate struct {
+	Variant media.Variant
+	// Net is the variant's network QoS (Section 6 mapping).
+	Net qos.NetworkQoS
+	// NetworkCost and ServerCost price the variant's delivery (Section 7);
+	// both are zero for discrete media, which are not billed.
+	NetworkCost cost.Money
+	ServerCost  cost.Money
+	// Continuous marks billable continuous media.
+	Continuous bool
+}
+
+// Candidates holds, per monomedia component of the document (in document
+// order), the variants the client machine can decode: the outcome of
+// negotiation step 2, static compatibility checking.
+type Candidates [][]Candidate
+
+// Offers returns the size of the cartesian product: how many feasible
+// system offers enumeration would yield.
+func (c Candidates) Offers() int {
+	total := 1
+	for _, m := range c {
+		total *= len(m)
+	}
+	return total
+}
+
+// maxOffersOrDefault resolves the enumeration bound.
+func maxOffersOrDefault(n int) int {
+	if n <= 0 {
+		return 1 << 20
+	}
+	return n
+}
+
+// Filter runs negotiation step 2 for every monomedia of the document:
+// scalable variants expand into their decodable temporal layers (the INRS
+// scalable decoder), each surviving layer is mapped to its network QoS and
+// priced, and the per-monomedia candidate lists are returned in document
+// order. Monomedia are filtered concurrently on up to workers goroutines
+// (a bounded fan-out; workers<=1 filters inline).
+//
+// It returns a *NoVariantError naming the first (in document order)
+// monomedia with no decodable variant, and ctx's error if the context is
+// canceled mid-filter.
+func Filter(ctx context.Context, doc media.Document, m client.Machine, pricing cost.Pricing, g cost.Guarantee, workers int) (Candidates, error) {
+	cands := make(Candidates, len(doc.Monomedia))
+	filterOne := func(i int) {
+		mono := doc.Monomedia[i]
+		continuous := mono.Kind.Continuous()
+		for _, v := range mono.Variants {
+			for _, layer := range media.ScalableLayers(v) {
+				if !m.CanDecode(layer) {
+					continue
+				}
+				c := Candidate{Variant: layer, Net: layer.NetworkQoS(), Continuous: continuous}
+				if continuous {
+					c.NetworkCost, c.ServerCost = pricing.ItemCost(g, cost.Item{
+						Rate:     c.Net.AvgBitRate,
+						Duration: mono.Duration,
+					})
+				}
+				cands[i] = append(cands[i], c)
+			}
+		}
+	}
+	if workers > 1 && len(doc.Monomedia) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range doc.Monomedia {
+			if ctx != nil && ctx.Err() != nil {
+				break
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				filterOne(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range doc.Monomedia {
+			filterOne(i)
+		}
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	for i, mono := range doc.Monomedia {
+		if len(cands[i]) == 0 {
+			return nil, &NoVariantError{Monomedia: mono.ID}
+		}
+	}
+	return cands, nil
+}
+
+// checkProduct verifies the cartesian product stays within maxOffers,
+// mirroring the incremental overflow-safe check Enumerate always used.
+func checkProduct(cands Candidates, maxOffers int) (int, error) {
+	total := 1
+	for _, m := range cands {
+		if total > maxOffers/len(m) {
+			return 0, fmt.Errorf("%w: product exceeds %d", ErrTooManyOffers, maxOffers)
+		}
+		total *= len(m)
+	}
+	return total, nil
+}
+
+// buildOffer materializes the system offer selected by the multi-index idx,
+// assembling the cost breakdown from the candidates' precomputed prices.
+func buildOffer(doc media.Document, cands Candidates, idx []int, copyright cost.Money) SystemOffer {
+	o := SystemOffer{Document: doc.ID, Choices: make([]Choice, len(idx))}
+	b := cost.Breakdown{Copyright: copyright, Total: copyright}
+	for i, j := range idx {
+		c := cands[i][j]
+		o.Choices[i] = Choice{Monomedia: doc.Monomedia[i].ID, Variant: c.Variant}
+		if c.Continuous {
+			b.Network = append(b.Network, c.NetworkCost)
+			b.Server = append(b.Server, c.ServerCost)
+			b.Total += c.NetworkCost + c.ServerCost
+		}
+	}
+	o.Cost = b
+	return o
+}
+
+// advanceIndex steps the multi-index to the next tuple in lexicographic
+// order (last dimension fastest); it reports false after the last tuple.
+func advanceIndex(idx []int, cands Candidates) bool {
+	for i := len(idx) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < len(cands[i]) {
+			return true
+		}
+		idx[i] = 0
+	}
+	return false
+}
+
+// decodeIndex writes the multi-index of the n-th tuple (lexicographic, last
+// dimension fastest) into idx; the parallel pipeline uses it to hand each
+// worker a contiguous, independent slice of the product space.
+func decodeIndex(idx []int, cands Candidates, n int) {
+	for i := len(idx) - 1; i >= 0; i-- {
+		size := len(cands[i])
+		idx[i] = n % size
+		n /= size
+	}
+}
+
+// Walk streams every feasible system offer in lexicographic variant order,
+// calling yield for each; enumeration stops early when yield returns false.
+// Offers are materialized one at a time — nothing proportional to the
+// product size is ever allocated, which is what lets the negotiation core
+// process variant products near the enumeration limit without holding
+// 2^20 offers in memory.
+func Walk(doc media.Document, cands Candidates, yield func(SystemOffer) bool) {
+	if len(cands) == 0 {
+		return
+	}
+	copyright := cost.Money(doc.CopyrightFee)
+	idx := make([]int, len(cands))
+	for {
+		if !yield(buildOffer(doc, cands, idx, copyright)) {
+			return
+		}
+		if !advanceIndex(idx, cands) {
+			return
+		}
+	}
 }
 
 // Enumerate produces every feasible system offer for the document on the
@@ -42,63 +229,23 @@ type EnumerateOptions struct {
 //
 // It returns a *NoVariantError when some monomedia has no decodable
 // variant, and ErrTooManyOffers when the product exceeds the limit.
+//
+// Enumerate materializes the whole product; the negotiation hot path uses
+// the streaming EnumerateTopK instead and keeps only the offers that can
+// still win classification.
 func Enumerate(doc media.Document, m client.Machine, pricing cost.Pricing, opts EnumerateOptions) ([]SystemOffer, error) {
-	maxOffers := opts.MaxOffers
-	if maxOffers <= 0 {
-		maxOffers = 1 << 20
+	cands, err := Filter(context.Background(), doc, m, pricing, opts.Guarantee, opts.Workers)
+	if err != nil {
+		return nil, err
 	}
-
-	// Step 2: static compatibility checking, per monomedia. Scalable
-	// variants first expand into their decodable temporal layers (the
-	// INRS scalable decoder), each of which is an independent candidate.
-	decodable := make([][]media.Variant, len(doc.Monomedia))
-	total := 1
-	for i, mono := range doc.Monomedia {
-		for _, v := range mono.Variants {
-			for _, layer := range media.ScalableLayers(v) {
-				if m.CanDecode(layer) {
-					decodable[i] = append(decodable[i], layer)
-				}
-			}
-		}
-		if len(decodable[i]) == 0 {
-			return nil, &NoVariantError{Monomedia: mono.ID}
-		}
-		if total > maxOffers/len(decodable[i]) {
-			return nil, fmt.Errorf("%w: product exceeds %d", ErrTooManyOffers, maxOffers)
-		}
-		total *= len(decodable[i])
+	total, err := checkProduct(cands, maxOffersOrDefault(opts.MaxOffers))
+	if err != nil {
+		return nil, err
 	}
-
-	// Cartesian product, lexicographic in variant order so the result is
-	// deterministic.
 	offers := make([]SystemOffer, 0, total)
-	idx := make([]int, len(doc.Monomedia))
-	for {
-		o := SystemOffer{Document: doc.ID, Choices: make([]Choice, len(doc.Monomedia))}
-		items := make([]cost.Item, 0, len(doc.Monomedia))
-		for i, mono := range doc.Monomedia {
-			v := decodable[i][idx[i]]
-			o.Choices[i] = Choice{Monomedia: mono.ID, Variant: v}
-			if mono.Kind.Continuous() {
-				items = append(items, cost.Item{Rate: v.NetworkQoS().AvgBitRate, Duration: mono.Duration})
-			}
-		}
-		o.Cost = pricing.Document(cost.Money(doc.CopyrightFee), opts.Guarantee, items)
+	Walk(doc, cands, func(o SystemOffer) bool {
 		offers = append(offers, o)
-
-		// Advance the multi-index.
-		i := len(idx) - 1
-		for ; i >= 0; i-- {
-			idx[i]++
-			if idx[i] < len(decodable[i]) {
-				break
-			}
-			idx[i] = 0
-		}
-		if i < 0 {
-			break
-		}
-	}
+		return true
+	})
 	return offers, nil
 }

@@ -1,0 +1,197 @@
+// The parallel negotiation pipeline: steps 2–4 of the Section 4 procedure
+// (static compatibility checking, computation of classification parameters,
+// classification) as a streaming fan-out instead of materialize-then-sort.
+//
+// Stage 1 filters each monomedia's variants concurrently and precomputes,
+// per surviving candidate, the Section 6 network mapping, the Section 7
+// stream price and the profile-dependent classification stats. Stage 2
+// splits the cartesian product of candidates into contiguous index ranges,
+// one per worker in a bounded pool; each worker streams its range, scores
+// offers from the per-candidate stats in O(#monomedia) additions, and
+// feeds a private top-K collector. Stage 3 merges the collectors into the
+// classified, bounded offer list the resource-commitment step consumes.
+package offer
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"qosneg/internal/client"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/profile"
+)
+
+// PipelineOptions tunes EnumerateTopK.
+type PipelineOptions struct {
+	// MaxOffers bounds the cartesian product; 0 selects 1<<20.
+	MaxOffers int
+	// Guarantee selects the service guarantee priced into each offer.
+	Guarantee cost.Guarantee
+	// Workers bounds the fan-out; 0 selects GOMAXPROCS.
+	Workers int
+	// TopK bounds how many classified offers are kept; 0 keeps all.
+	TopK int
+	// Orderer is the classification ordering; nil selects SNSPrimary.
+	Orderer Orderer
+}
+
+// candidateStats is the profile-dependent half of a candidate's
+// classification parameters, computed once per candidate so that scoring an
+// offer is a sum of per-candidate terms.
+type candidateStats struct {
+	// qImp is the candidate's QoS-importance contribution to the OIF.
+	qImp float64
+	// desired and worst report whether the candidate satisfies the
+	// profile's desired / worst-acceptable setting for its media kind.
+	desired, worst bool
+}
+
+// rankCandidates precomputes candidateStats for every candidate, mirroring
+// SNS's per-choice comparisons and Rank's importance sum.
+func rankCandidates(cands Candidates, u profile.UserProfile) [][]candidateStats {
+	stats := make([][]candidateStats, len(cands))
+	for i, mono := range cands {
+		stats[i] = make([]candidateStats, len(mono))
+		for j, c := range mono {
+			st := candidateStats{qImp: u.Importance.QoS(c.Variant.QoS)}
+			if kind, ok := c.Variant.QoS.Kind(); ok {
+				st.desired, st.worst = true, true
+				if des, ok := u.Desired.Setting(kind); ok && !c.Variant.QoS.Satisfies(des) {
+					st.desired = false
+				}
+				if wor, ok := u.Worst.Setting(kind); ok && !c.Variant.QoS.Satisfies(wor) {
+					st.worst = false
+				}
+			}
+			stats[i][j] = st
+		}
+	}
+	return stats
+}
+
+// collectRange streams the offers with lexicographic numbers [lo, hi) into
+// the collector, scoring each from the precomputed stats and materializing
+// only offers that can still enter the top K. It checks ctx periodically
+// and returns its error when canceled.
+func collectRange(ctx context.Context, doc media.Document, cands Candidates, stats [][]candidateStats, u profile.UserProfile, orderer Orderer, tk *TopK, lo, hi int) error {
+	if lo >= hi {
+		return nil
+	}
+	copyright := cost.Money(doc.CopyrightFee)
+	budget := u.Desired.Cost.MaxCost
+	idx := make([]int, len(cands))
+	decodeIndex(idx, cands, lo)
+	for n := lo; n < hi; n++ {
+		if n%1024 == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		total := copyright
+		qImp := 0.0
+		meetsDesired, meetsWorst := true, true
+		for i, j := range idx {
+			c := &cands[i][j]
+			if c.Continuous {
+				total += c.NetworkCost + c.ServerCost
+			}
+			st := &stats[i][j]
+			qImp += st.qImp
+			meetsDesired = meetsDesired && st.desired
+			meetsWorst = meetsWorst && st.worst
+		}
+		status := Constraint
+		switch {
+		case meetsDesired && total <= budget:
+			status = Desirable
+		case meetsWorst:
+			status = Acceptable
+		}
+		oif := qImp - u.Importance.Cost(total)
+		// Probe admission before materializing: the keyless probe wins
+		// every key tie-break, so the skip only fires when the worst
+		// kept offer beats the probe on the numeric keys alone —
+		// skipping is conservative.
+		probe := Ranked{
+			SystemOffer:   SystemOffer{Cost: cost.Breakdown{Total: total}},
+			Status:        status,
+			OIF:           oif,
+			QoSImportance: qImp,
+		}
+		if !tk.Full() || !orderer.Less(tk.Worst(), probe) {
+			tk.Add(Ranked{
+				SystemOffer:   buildOffer(doc, cands, idx, copyright),
+				Status:        status,
+				OIF:           oif,
+				QoSImportance: qImp,
+			})
+		}
+		advanceIndex(idx, cands)
+	}
+	return nil
+}
+
+// smallProduct is the offer count below which the fan-out overhead exceeds
+// the scoring work and the pipeline runs on the calling goroutine.
+const smallProduct = 2048
+
+// EnumerateTopK runs negotiation steps 2–4 as the parallel streaming
+// pipeline described at the top of this file and returns the K best
+// classified offers, best-first. With TopK <= 0 it returns the full
+// classified set (identical to Enumerate + Rank + Sort); with a bound it
+// returns exactly the prefix that full classification would have produced,
+// because the built-in orderers are total orders.
+//
+// Errors: *NoVariantError (some monomedia undecodable), ErrTooManyOffers
+// (product above MaxOffers), or ctx's error when canceled mid-stream.
+func EnumerateTopK(ctx context.Context, doc media.Document, mach client.Machine, pricing cost.Pricing, u profile.UserProfile, opts PipelineOptions) ([]Ranked, error) {
+	orderer := opts.Orderer
+	if orderer == nil {
+		orderer = SNSPrimary{}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cands, err := Filter(ctx, doc, mach, pricing, opts.Guarantee, workers)
+	if err != nil {
+		return nil, err
+	}
+	total, err := checkProduct(cands, maxOffersOrDefault(opts.MaxOffers))
+	if err != nil {
+		return nil, err
+	}
+	stats := rankCandidates(cands, u)
+
+	if total < smallProduct || workers == 1 {
+		tk := NewTopK(opts.TopK, orderer)
+		if err := collectRange(ctx, doc, cands, stats, u, orderer, tk, 0, total); err != nil {
+			return nil, err
+		}
+		return tk.Sorted(), nil
+	}
+
+	collectors := make([]*TopK, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := total*w/workers, total*(w+1)/workers
+		collectors[w] = NewTopK(opts.TopK, orderer)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = collectRange(ctx, doc, cands, stats, u, orderer, collectors[w], lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := collectors[0]
+	for _, tk := range collectors[1:] {
+		merged.Merge(tk)
+	}
+	return merged.Sorted(), nil
+}

@@ -1,0 +1,105 @@
+package offer
+
+import "sort"
+
+// TopK keeps the K best ranked offers seen so far under an Orderer's
+// ordering: negotiation step 4's classification as a bounded heap instead
+// of a full sort. Insertion is O(log K); offers that cannot beat the
+// current K-th best are rejected in O(1) via Full/Worst, so classifying a
+// product of N offers costs O(N + K log K) instead of O(N log N) — and,
+// more importantly under load, O(K) memory instead of O(N).
+//
+// K <= 0 keeps every offer (the classical unbounded classification).
+// TopK is not safe for concurrent use; the pipeline gives each worker its
+// own collector and merges them.
+type TopK struct {
+	k int
+	// less is the best-first ordering; the heap keeps the *worst* kept
+	// offer at the root so it can be evicted on a better arrival.
+	less  func(a, b Ranked) bool
+	items []Ranked
+}
+
+// NewTopK builds a collector keeping the k best offers under the orderer's
+// ordering; k <= 0 keeps everything.
+func NewTopK(k int, o Orderer) *TopK {
+	t := &TopK{k: k, less: o.Less}
+	if k > 0 {
+		t.items = make([]Ranked, 0, k)
+	}
+	return t
+}
+
+// Len returns how many offers are currently kept.
+func (t *TopK) Len() int { return len(t.items) }
+
+// Full reports whether the collector holds K offers, so that a further Add
+// must evict the worst to be kept.
+func (t *TopK) Full() bool { return t.k > 0 && len(t.items) >= t.k }
+
+// Worst returns the worst kept offer; only valid when Len() > 0. Together
+// with Full it lets callers skip materializing offers that cannot be kept.
+func (t *TopK) Worst() Ranked { return t.items[0] }
+
+// Add offers r to the collector, evicting the current worst if the
+// collector is full and r ranks better.
+func (t *TopK) Add(r Ranked) {
+	if !t.Full() {
+		t.items = append(t.items, r)
+		t.up(len(t.items) - 1)
+		return
+	}
+	if !t.less(r, t.items[0]) {
+		return
+	}
+	t.items[0] = r
+	t.down(0)
+}
+
+// Merge folds every offer kept by other into t.
+func (t *TopK) Merge(other *TopK) {
+	for _, r := range other.items {
+		t.Add(r)
+	}
+}
+
+// Sorted returns the kept offers best-first, consuming nothing: the
+// classified list handed to the resource-commitment step.
+func (t *TopK) Sorted() []Ranked {
+	out := make([]Ranked, len(t.items))
+	copy(out, t.items)
+	sort.Slice(out, func(i, j int) bool { return t.less(out[i], out[j]) })
+	return out
+}
+
+// worseThan is the heap ordering: the root holds the worst kept offer.
+func (t *TopK) worseThan(i, j int) bool { return t.less(t.items[j], t.items[i]) }
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !t.worseThan(i, parent) {
+			return
+		}
+		t.items[i], t.items[parent] = t.items[parent], t.items[i]
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.items)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && t.worseThan(l, worst) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && t.worseThan(r, worst) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.items[i], t.items[worst] = t.items[worst], t.items[i]
+		i = worst
+	}
+}

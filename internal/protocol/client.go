@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -17,6 +18,12 @@ import (
 // Client is the profile-manager side of the wire protocol: it connects to a
 // negotiation daemon and performs negotiate/confirm/reject rounds. It is
 // safe for concurrent use; requests on one connection are serialized.
+//
+// Every RPC has a *Context form taking a context.Context. Because the
+// protocol is a single stream of request/response pairs, cancellation is
+// implemented by poisoning the connection's deadline: a canceled in-flight
+// call returns the context's error and leaves the connection unusable —
+// close the client and dial again.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
@@ -26,7 +33,14 @@ type Client struct {
 
 // Dial connects to a negotiation daemon.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a negotiation daemon, abandoning the attempt when
+// ctx is canceled.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -41,15 +55,39 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-func (c *Client) roundTrip(req Request) (Response, error) {
+// arm makes a ctx cancellation interrupt reads and writes on the
+// connection by forcing its deadline into the past. The returned stop must
+// be called when the call completes; finish maps an I/O error back to the
+// context's error when the cancellation fired.
+func (c *Client) arm(ctx context.Context) (stop func() bool) {
+	if ctx.Done() == nil {
+		return func() bool { return true }
+	}
+	return context.AfterFunc(ctx, func() {
+		c.conn.SetDeadline(time.Now())
+	})
+}
+
+func (c *Client) finish(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		return fmt.Errorf("protocol: %w", ctx.Err())
+	}
+	return err
+}
+
+func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return Response{}, fmt.Errorf("protocol: %w", err)
+	}
+	defer c.arm(ctx)()
 	if err := c.enc.Encode(req); err != nil {
-		return Response{}, fmt.Errorf("protocol: send: %w", err)
+		return Response{}, c.finish(ctx, fmt.Errorf("protocol: send: %w", err))
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, fmt.Errorf("protocol: receive: %w", err)
+		return Response{}, c.finish(ctx, fmt.Errorf("protocol: receive: %w", err))
 	}
 	if resp.Type == MsgError {
 		return resp, fmt.Errorf("protocol: server error: %s", resp.Error)
@@ -68,9 +106,32 @@ type NegotiationResult struct {
 	Reason       string
 }
 
+func negotiationResult(resp Response) (NegotiationResult, error) {
+	status, ok := ParseStatus(resp.Status)
+	if !ok {
+		return NegotiationResult{}, fmt.Errorf("protocol: unknown status %q", resp.Status)
+	}
+	return NegotiationResult{
+		Status:       status,
+		Offer:        resp.Offer,
+		Session:      resp.Session,
+		Cost:         resp.Cost,
+		ChoicePeriod: time.Duration(resp.ChoicePeriodMs) * time.Millisecond,
+		Violations:   resp.Violations,
+		Reason:       resp.Reason,
+	}, nil
+}
+
 // Negotiate runs the negotiation procedure on the daemon.
+//
+// Deprecated: use NegotiateContext.
 func (c *Client) Negotiate(mach client.Machine, doc media.DocumentID, u profile.UserProfile) (NegotiationResult, error) {
-	resp, err := c.roundTrip(Request{
+	return c.NegotiateContext(context.Background(), mach, doc, u)
+}
+
+// NegotiateContext runs the negotiation procedure on the daemon.
+func (c *Client) NegotiateContext(ctx context.Context, mach client.Machine, doc media.DocumentID, u profile.UserProfile) (NegotiationResult, error) {
+	resp, err := c.roundTrip(ctx, Request{
 		Type:     MsgNegotiate,
 		Machine:  &mach,
 		Document: doc,
@@ -79,52 +140,50 @@ func (c *Client) Negotiate(mach client.Machine, doc media.DocumentID, u profile.
 	if err != nil {
 		return NegotiationResult{}, err
 	}
-	status, ok := ParseStatus(resp.Status)
-	if !ok {
-		return NegotiationResult{}, fmt.Errorf("protocol: unknown status %q", resp.Status)
-	}
-	return NegotiationResult{
-		Status:       status,
-		Offer:        resp.Offer,
-		Session:      resp.Session,
-		Cost:         resp.Cost,
-		ChoicePeriod: time.Duration(resp.ChoicePeriodMs) * time.Millisecond,
-		Violations:   resp.Violations,
-		Reason:       resp.Reason,
-	}, nil
+	return negotiationResult(resp)
 }
 
 // Renegotiate re-runs the negotiation for a reserved session with a
 // modified profile.
+//
+// Deprecated: use RenegotiateContext.
 func (c *Client) Renegotiate(id core.SessionID, u profile.UserProfile) (NegotiationResult, error) {
-	resp, err := c.roundTrip(Request{Type: MsgRenegotiate, Session: id, Profile: &u})
+	return c.RenegotiateContext(context.Background(), id, u)
+}
+
+// RenegotiateContext re-runs the negotiation for a reserved session with a
+// modified profile.
+func (c *Client) RenegotiateContext(ctx context.Context, id core.SessionID, u profile.UserProfile) (NegotiationResult, error) {
+	resp, err := c.roundTrip(ctx, Request{Type: MsgRenegotiate, Session: id, Profile: &u})
 	if err != nil {
 		return NegotiationResult{}, err
 	}
-	status, ok := ParseStatus(resp.Status)
-	if !ok {
-		return NegotiationResult{}, fmt.Errorf("protocol: unknown status %q", resp.Status)
-	}
-	return NegotiationResult{
-		Status:       status,
-		Offer:        resp.Offer,
-		Session:      resp.Session,
-		Cost:         resp.Cost,
-		ChoicePeriod: time.Duration(resp.ChoicePeriodMs) * time.Millisecond,
-		Violations:   resp.Violations,
-		Reason:       resp.Reason,
-	}, nil
+	return negotiationResult(resp)
 }
 
 // Confirm accepts a reserved offer.
+//
+// Deprecated: use ConfirmContext.
 func (c *Client) Confirm(id core.SessionID) error {
-	_, err := c.roundTrip(Request{Type: MsgConfirm, Session: id})
+	return c.ConfirmContext(context.Background(), id)
+}
+
+// ConfirmContext accepts a reserved offer.
+func (c *Client) ConfirmContext(ctx context.Context, id core.SessionID) error {
+	_, err := c.roundTrip(ctx, Request{Type: MsgConfirm, Session: id})
 	return err
 }
 
 // Reject declines a reserved offer, releasing its resources.
+//
+// Deprecated: use RejectContext.
 func (c *Client) Reject(id core.SessionID) error {
-	_, err := c.roundTrip(Request{Type: MsgReject, Session: id})
+	return c.RejectContext(context.Background(), id)
+}
+
+// RejectContext declines a reserved offer, releasing its resources.
+func (c *Client) RejectContext(ctx context.Context, id core.SessionID) error {
+	_, err := c.roundTrip(ctx, Request{Type: MsgReject, Session: id})
 	return err
 }
 
@@ -137,46 +196,65 @@ type SessionInfo struct {
 	Cost        cost.Money
 }
 
-// Session queries a session's state.
-func (c *Client) Session(id core.SessionID) (SessionInfo, error) {
-	resp, err := c.roundTrip(Request{Type: MsgSession, Session: id})
-	if err != nil {
-		return SessionInfo{}, err
-	}
+func sessionInfo(resp Response) SessionInfo {
 	return SessionInfo{
 		Session:     resp.Session,
 		State:       resp.State,
 		Position:    time.Duration(resp.PositionMs) * time.Millisecond,
 		Transitions: resp.Transitions,
 		Cost:        resp.Cost,
-	}, nil
+	}
+}
+
+// Session queries a session's state.
+//
+// Deprecated: use SessionContext.
+func (c *Client) Session(id core.SessionID) (SessionInfo, error) {
+	return c.SessionContext(context.Background(), id)
+}
+
+// SessionContext queries a session's state.
+func (c *Client) SessionContext(ctx context.Context, id core.SessionID) (SessionInfo, error) {
+	resp, err := c.roundTrip(ctx, Request{Type: MsgSession, Session: id})
+	if err != nil {
+		return SessionInfo{}, err
+	}
+	return sessionInfo(resp), nil
 }
 
 // Watch streams session updates over this connection until the session
-// completes or aborts, calling fn for every state or transition change. The
-// connection is busy for the duration; use a dedicated client. A negative
-// or zero interval selects the server default.
+// completes or aborts.
+//
+// Deprecated: use WatchContext.
 func (c *Client) Watch(id core.SessionID, interval time.Duration, fn func(SessionInfo)) error {
+	return c.WatchContext(context.Background(), id, interval, fn)
+}
+
+// WatchContext streams session updates over this connection until the
+// session completes or aborts, calling fn for every state or transition
+// change. The connection is busy for the duration; use a dedicated client.
+// A negative or zero interval selects the server default. Canceling ctx
+// ends the watch with the context's error (and poisons the connection, as
+// for any canceled call).
+func (c *Client) WatchContext(ctx context.Context, id core.SessionID, interval time.Duration, fn func(SessionInfo)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("protocol: %w", err)
+	}
+	defer c.arm(ctx)()
 	if err := c.enc.Encode(Request{Type: MsgWatch, Session: id, IntervalMs: interval.Milliseconds()}); err != nil {
-		return fmt.Errorf("protocol: send: %w", err)
+		return c.finish(ctx, fmt.Errorf("protocol: send: %w", err))
 	}
 	for {
 		var resp Response
 		if err := c.dec.Decode(&resp); err != nil {
-			return fmt.Errorf("protocol: receive: %w", err)
+			return c.finish(ctx, fmt.Errorf("protocol: receive: %w", err))
 		}
 		if resp.Type == MsgError {
 			return fmt.Errorf("protocol: server error: %s", resp.Error)
 		}
-		fn(SessionInfo{
-			Session:     resp.Session,
-			State:       resp.State,
-			Position:    time.Duration(resp.PositionMs) * time.Millisecond,
-			Transitions: resp.Transitions,
-			Cost:        resp.Cost,
-		})
+		fn(sessionInfo(resp))
 		if resp.Final {
 			return nil
 		}
@@ -185,8 +263,16 @@ func (c *Client) Watch(id core.SessionID, interval time.Duration, fn func(Sessio
 
 // ListDocuments lists the daemon's catalog, optionally filtered by a title
 // substring.
+//
+// Deprecated: use ListDocumentsContext.
 func (c *Client) ListDocuments(query string) ([]DocumentSummary, error) {
-	resp, err := c.roundTrip(Request{Type: MsgListDocuments, Query: query})
+	return c.ListDocumentsContext(context.Background(), query)
+}
+
+// ListDocumentsContext lists the daemon's catalog, optionally filtered by a
+// title substring.
+func (c *Client) ListDocumentsContext(ctx context.Context, query string) ([]DocumentSummary, error) {
+	resp, err := c.roundTrip(ctx, Request{Type: MsgListDocuments, Query: query})
 	if err != nil {
 		return nil, err
 	}
@@ -194,8 +280,15 @@ func (c *Client) ListDocuments(query string) ([]DocumentSummary, error) {
 }
 
 // ListSessions lists the daemon's sessions, ordered by id.
+//
+// Deprecated: use ListSessionsContext.
 func (c *Client) ListSessions() ([]SessionSummary, error) {
-	resp, err := c.roundTrip(Request{Type: MsgListSessions})
+	return c.ListSessionsContext(context.Background())
+}
+
+// ListSessionsContext lists the daemon's sessions, ordered by id.
+func (c *Client) ListSessionsContext(ctx context.Context) ([]SessionSummary, error) {
+	resp, err := c.roundTrip(ctx, Request{Type: MsgListSessions})
 	if err != nil {
 		return nil, err
 	}
@@ -203,8 +296,15 @@ func (c *Client) ListSessions() ([]SessionSummary, error) {
 }
 
 // Invoice fetches a session's itemized bill.
+//
+// Deprecated: use InvoiceContext.
 func (c *Client) Invoice(id core.SessionID) (cost.Invoice, error) {
-	resp, err := c.roundTrip(Request{Type: MsgInvoice, Session: id})
+	return c.InvoiceContext(context.Background(), id)
+}
+
+// InvoiceContext fetches a session's itemized bill.
+func (c *Client) InvoiceContext(ctx context.Context, id core.SessionID) (cost.Invoice, error) {
+	resp, err := c.roundTrip(ctx, Request{Type: MsgInvoice, Session: id})
 	if err != nil {
 		return cost.Invoice{}, err
 	}
@@ -215,8 +315,15 @@ func (c *Client) Invoice(id core.SessionID) (cost.Invoice, error) {
 }
 
 // ServerLoads fetches the media servers' current load.
+//
+// Deprecated: use ServerLoadsContext.
 func (c *Client) ServerLoads() ([]core.ServerLoad, error) {
-	resp, err := c.roundTrip(Request{Type: MsgServerLoads})
+	return c.ServerLoadsContext(context.Background())
+}
+
+// ServerLoadsContext fetches the media servers' current load.
+func (c *Client) ServerLoadsContext(ctx context.Context) ([]core.ServerLoad, error) {
+	resp, err := c.roundTrip(ctx, Request{Type: MsgServerLoads})
 	if err != nil {
 		return nil, err
 	}
@@ -224,8 +331,15 @@ func (c *Client) ServerLoads() ([]core.ServerLoad, error) {
 }
 
 // Stats fetches the daemon's outcome counters.
+//
+// Deprecated: use StatsContext.
 func (c *Client) Stats() (core.Stats, error) {
-	resp, err := c.roundTrip(Request{Type: MsgStats})
+	return c.StatsContext(context.Background())
+}
+
+// StatsContext fetches the daemon's outcome counters.
+func (c *Client) StatsContext(ctx context.Context) (core.Stats, error) {
+	resp, err := c.roundTrip(ctx, Request{Type: MsgStats})
 	if err != nil {
 		return core.Stats{}, err
 	}

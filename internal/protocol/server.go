@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -24,6 +25,11 @@ type Server struct {
 	man *core.Manager
 	reg *registry.Registry
 
+	// baseCtx bounds every negotiation the server runs; Close cancels it
+	// so in-flight pipelines abort and roll back.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
 	mu          sync.Mutex
 	confirmHook func(core.SessionID)
 	timers      map[core.SessionID]*time.Timer
@@ -36,11 +42,14 @@ type Server struct {
 
 // NewServer builds a protocol server over the QoS manager and registry.
 func NewServer(man *core.Manager, reg *registry.Registry) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
-		man:    man,
-		reg:    reg,
-		timers: make(map[core.SessionID]*time.Timer),
-		conns:  make(map[net.Conn]bool),
+		man:     man,
+		reg:     reg,
+		baseCtx: ctx,
+		cancel:  cancel,
+		timers:  make(map[core.SessionID]*time.Timer),
+		conns:   make(map[net.Conn]bool),
 	}
 }
 
@@ -77,9 +86,9 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops accepting work, closes live connections and waits for the
-// handlers to finish. Pending choice-period timers keep running so that
-// reservations are still reclaimed.
+// Close stops accepting work, cancels in-flight negotiations, closes live
+// connections and waits for the handlers to finish. Pending choice-period
+// timers keep running so that reservations are still reclaimed.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -87,6 +96,7 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	s.wg.Wait()
 }
 
@@ -164,7 +174,7 @@ func (s *Server) negotiate(req Request) Response {
 	if err := req.Profile.Validate(); err != nil {
 		return Response{Type: MsgError, Error: err.Error()}
 	}
-	res, err := s.man.Negotiate(*req.Machine, req.Document, *req.Profile)
+	res, err := s.man.NegotiateContext(s.baseCtx, *req.Machine, req.Document, *req.Profile)
 	if err != nil {
 		return Response{Type: MsgError, Error: err.Error()}
 	}
@@ -192,9 +202,10 @@ func (s *Server) armChoiceTimer(id core.SessionID, period time.Duration) {
 		s.mu.Lock()
 		delete(s.timers, id)
 		s.mu.Unlock()
-		// Reject only succeeds while the session is still Reserved, so a
-		// raced Confirm wins harmlessly.
-		if err := s.man.Reject(id); err == nil {
+		// Expire only succeeds while the session is still Reserved, so a
+		// raced Confirm wins harmlessly; an expired session answers later
+		// Confirm/Reject calls with ErrChoicePeriodExpired.
+		if err := s.man.Expire(id); err == nil {
 			s.mu.Lock()
 			s.expired++
 			s.mu.Unlock()
@@ -228,7 +239,7 @@ func (s *Server) renegotiate(req Request) Response {
 		return Response{Type: MsgError, Error: err.Error()}
 	}
 	s.disarmChoiceTimer(req.Session)
-	res, err := s.man.Renegotiate(req.Session, *req.Profile)
+	res, err := s.man.RenegotiateContext(s.baseCtx, req.Session, *req.Profile)
 	if err != nil {
 		return Response{Type: MsgError, Error: err.Error()}
 	}

@@ -12,20 +12,41 @@
 // with disk-round admission control, a reservation-capable network, the
 // transport system, client machine models, the offer classification
 // machinery of the paper's Section 5, the six-step negotiation procedure of
-// Section 4, the adaptation monitor, a playout driver on a discrete-event
-// engine, a TCP wire protocol, and the profile manager's window flow.
+// Section 4 run on a parallel streaming pipeline, the adaptation monitor, a
+// playout driver on a discrete-event engine, a TCP wire protocol, and the
+// profile manager's window flow.
 //
 // Quickstart:
 //
-//	sys, _ := qosneg.New(qosneg.Config{Clients: 1, Servers: 2})
+//	sys, _ := qosneg.New(qosneg.WithClients(1), qosneg.WithServers(2))
 //	doc, _ := sys.AddNewsArticle("news-1", "Election night", 3*time.Minute)
-//	res, _ := sys.Negotiate("client-1", doc.ID, "tv-quality")
+//	res, _ := sys.Negotiate(ctx, "client-1", doc.ID, "tv-quality")
 //	if res.Status.Reserved() {
 //		sys.Manager.Confirm(res.Session.ID)
 //	}
+//
+// # Errors
+//
+// The facade reports failures through typed sentinels so callers can branch
+// with errors.Is / errors.As rather than matching message text:
+//
+//   - [ErrClientNotFound]: a client id is not part of the assembled system.
+//   - [ErrProfileNotFound]: a named profile is not in the profile store.
+//   - [ErrSessionNotFound]: a session id names no live or past session.
+//   - [ErrChoicePeriodExpired]: the session's choice period elapsed before
+//     the operation; its resources are already released.
+//   - [ErrTooManyOffers]: the document's variant product exceeds the
+//     enumeration bound (core.Options.MaxOffers).
+//
+// A negotiation whose monomedia cannot be decoded at all does not error: it
+// returns a Result with status FAILEDWITHOUTOFFER, as in the paper.
+// Canceled negotiations return the context's error (context.Canceled or
+// context.DeadlineExceeded) with all partially committed resources
+// released.
 package qosneg
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -47,25 +68,68 @@ import (
 	"qosneg/internal/transport"
 )
 
-// Config parameterizes New. The zero value builds a two-client, two-server
-// star-topology system with the default disk model, link capacities, cost
-// tables and QoS-manager options.
-type Config struct {
-	// Clients is the number of client workstations (client-1..N).
-	Clients int
-	// Servers is the number of CMFS servers (server-1..M).
-	Servers int
-	// ServerConfig overrides the CMFS disk model.
-	ServerConfig *cmfs.Config
-	// AccessCapacity and BackboneCapacity override the star topology's
-	// link capacities.
-	AccessCapacity   qos.BitRate
-	BackboneCapacity qos.BitRate
-	// Options overrides the QoS manager options (classifier, choice
-	// period, path alternates).
-	Options *core.Options
-	// Pricing overrides the default cost tables (see cost.LoadPricing).
-	Pricing *cost.Pricing
+// config collects the option values; the zero value builds a two-client,
+// two-server star-topology system with the default disk model, link
+// capacities, cost tables and QoS-manager options.
+type config struct {
+	spec        testbed.Spec
+	opts        core.Options
+	optsSet     bool
+	concurrency int
+	topK        int
+}
+
+// Option configures New; the With* constructors build them.
+type Option func(*config)
+
+// WithClients sets the number of client workstations (client-1..N).
+func WithClients(n int) Option {
+	return func(c *config) { c.spec.Clients = n }
+}
+
+// WithServers sets the number of CMFS servers (server-1..M).
+func WithServers(n int) Option {
+	return func(c *config) { c.spec.Servers = n }
+}
+
+// WithServerConfig overrides the CMFS disk model.
+func WithServerConfig(cfg cmfs.Config) Option {
+	return func(c *config) { c.spec.ServerConfig = &cfg }
+}
+
+// WithAccessCapacity overrides the star topology's access-link capacity.
+func WithAccessCapacity(r qos.BitRate) Option {
+	return func(c *config) { c.spec.AccessCapacity = r }
+}
+
+// WithBackboneCapacity overrides the star topology's backbone capacity.
+func WithBackboneCapacity(r qos.BitRate) Option {
+	return func(c *config) { c.spec.BackboneCapacity = r }
+}
+
+// WithOptions replaces the QoS manager options wholesale (classifier,
+// choice period, enumeration bound, path alternates). Later WithConcurrency
+// still applies on top.
+func WithOptions(o core.Options) Option {
+	return func(c *config) { c.opts, c.optsSet = o, true }
+}
+
+// WithPricing overrides the default cost tables (see cost.LoadPricing).
+func WithPricing(p cost.Pricing) Option {
+	return func(c *config) { c.spec.Pricing = &p }
+}
+
+// WithConcurrency bounds the negotiation pipeline's worker pool; 0 (the
+// default) selects GOMAXPROCS.
+func WithConcurrency(n int) Option {
+	return func(c *config) { c.concurrency = n }
+}
+
+// WithTopK bounds how many classified offers each negotiation keeps for
+// commitment and adaptation; 0 selects core.DefaultTopK, negative keeps
+// the full classified set.
+func WithTopK(k int) Option {
+	return func(c *config) { c.topK = k }
 }
 
 // System is an assembled news-on-demand prototype: every component wired
@@ -81,17 +145,25 @@ type System struct {
 	Pricing  cost.Pricing
 }
 
-// New assembles a system from the configuration.
-func New(cfg Config) (*System, error) {
-	bed, err := testbed.New(testbed.Spec{
-		Clients:          cfg.Clients,
-		Servers:          cfg.Servers,
-		ServerConfig:     cfg.ServerConfig,
-		AccessCapacity:   cfg.AccessCapacity,
-		BackboneCapacity: cfg.BackboneCapacity,
-		Options:          cfg.Options,
-		Pricing:          cfg.Pricing,
-	})
+// New assembles a system from the options; with none it builds the default
+// two-client, two-server star topology.
+func New(options ...Option) (*System, error) {
+	var cfg config
+	for _, o := range options {
+		o(&cfg)
+	}
+	opts := core.DefaultOptions()
+	if cfg.optsSet {
+		opts = cfg.opts
+	}
+	if cfg.concurrency != 0 {
+		opts.Concurrency = cfg.concurrency
+	}
+	if cfg.topK != 0 {
+		opts.TopK = cfg.topK
+	}
+	cfg.spec.Options = &opts
+	bed, err := testbed.New(cfg.spec)
 	if err != nil {
 		return nil, err
 	}
@@ -155,18 +227,19 @@ func (s *System) serverIDs() []media.ServerID {
 	return out
 }
 
-// Client returns the machine with the given id.
+// Client returns the machine with the given id, or an error wrapping
+// ErrClientNotFound.
 func (s *System) Client(id string) (client.Machine, error) {
 	m, ok := s.Clients[client.MachineID(id)]
 	if !ok {
-		return client.Machine{}, fmt.Errorf("qosneg: unknown client %q", id)
+		return client.Machine{}, fmt.Errorf("%w: %q", ErrClientNotFound, id)
 	}
 	return m, nil
 }
 
 // Negotiate runs the negotiation procedure for a named client and a named
-// stored profile.
-func (s *System) Negotiate(clientID string, doc media.DocumentID, profileName string) (core.Result, error) {
+// stored profile, bounded by ctx.
+func (s *System) Negotiate(ctx context.Context, clientID string, doc media.DocumentID, profileName string) (core.Result, error) {
 	mach, err := s.Client(clientID)
 	if err != nil {
 		return core.Result{}, err
@@ -175,13 +248,13 @@ func (s *System) Negotiate(clientID string, doc media.DocumentID, profileName st
 	if err != nil {
 		return core.Result{}, err
 	}
-	return s.Manager.Negotiate(mach, doc, u)
+	return s.Manager.NegotiateContext(ctx, mach, doc, u)
 }
 
 // NegotiateWith runs the negotiation procedure with an explicit machine and
-// profile.
-func (s *System) NegotiateWith(mach client.Machine, doc media.DocumentID, u profile.UserProfile) (core.Result, error) {
-	return s.Manager.Negotiate(mach, doc, u)
+// profile, bounded by ctx.
+func (s *System) NegotiateWith(ctx context.Context, mach client.Machine, doc media.DocumentID, u profile.UserProfile) (core.Result, error) {
+	return s.Manager.NegotiateContext(ctx, mach, doc, u)
 }
 
 // Monitor builds the adaptation monitor over the system's substrate.

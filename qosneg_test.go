@@ -1,6 +1,7 @@
 package qosneg
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -13,7 +14,7 @@ import (
 )
 
 func TestSystemNegotiatePlayComplete(t *testing.T) {
-	sys, err := New(Config{Clients: 1, Servers: 2})
+	sys, err := New(WithClients(1), WithServers(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,7 +22,7 @@ func TestSystemNegotiatePlayComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sys.Negotiate("client-1", doc.ID, "tv-quality")
+	res, err := sys.Negotiate(context.Background(), "client-1", doc.ID, "tv-quality")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,31 +45,31 @@ func TestSystemNegotiatePlayComplete(t *testing.T) {
 }
 
 func TestSystemUnknownClientAndProfile(t *testing.T) {
-	sys, _ := New(Config{})
+	sys, _ := New()
 	doc, _ := sys.AddNewsArticle("news-1", "T", time.Minute)
-	if _, err := sys.Negotiate("ghost", doc.ID, "tv-quality"); err == nil {
+	if _, err := sys.Negotiate(context.Background(), "ghost", doc.ID, "tv-quality"); err == nil {
 		t.Error("unknown client accepted")
 	}
-	if _, err := sys.Negotiate("client-1", doc.ID, "ghost"); err == nil {
+	if _, err := sys.Negotiate(context.Background(), "client-1", doc.ID, "ghost"); err == nil {
 		t.Error("unknown profile accepted")
 	}
 }
 
 func TestSystemFactoryProfiles(t *testing.T) {
-	sys, _ := New(Config{})
+	sys, _ := New()
 	names := sys.Profiles.List()
 	if len(names) != 3 {
 		t.Fatalf("profiles = %v", names)
 	}
 	// The economy profile yields a cheaper offer than premium.
 	doc, _ := sys.AddNewsArticle("news-1", "T", time.Minute)
-	eco, err := sys.Negotiate("client-1", doc.ID, "economy")
+	eco, err := sys.Negotiate(context.Background(), "client-1", doc.ID, "economy")
 	if err != nil || !eco.Status.Reserved() {
 		t.Fatalf("economy: %v %v", eco.Status, err)
 	}
 	ecoCost := eco.Session.Cost()
 	sys.Manager.Reject(eco.Session.ID)
-	prem, err := sys.Negotiate("client-1", doc.ID, "premium")
+	prem, err := sys.Negotiate(context.Background(), "client-1", doc.ID, "premium")
 	if err != nil || !prem.Status.Reserved() {
 		t.Fatalf("premium: %v %v", prem.Status, err)
 	}
@@ -82,7 +83,7 @@ func TestSystemFactoryProfiles(t *testing.T) {
 }
 
 func TestSystemServe(t *testing.T) {
-	sys, err := New(Config{Clients: 1, Servers: 2})
+	sys, err := New(WithClients(1), WithServers(2))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# CI gate: everything a change must pass before merging.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== benchmarks (smoke, 1 iteration)"
+go test -run '^$' -bench . -benchtime=1x ./...
+
+echo "check: OK"

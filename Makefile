@@ -2,14 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover check experiments examples fmt vet clean
+.PHONY: all build test race bench cover check experiments examples fmt vet fuzz clean
 
 all: build test
 
-# The full CI gate: vet, build, race-enabled tests and a smoke run of every
-# benchmark.
+# The full CI gate: gofmt, vet, build, race-enabled tests, and smoke runs of
+# every benchmark and fuzz target.
 check:
 	./scripts/check.sh
+
+# Smoke-run the fuzz targets (also part of `make check`).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzCurveEval$$' -fuzztime 5s ./internal/profile
+	$(GO) test -run '^$$' -fuzz '^FuzzServerInput$$' -fuzztime 5s ./internal/protocol
+	$(GO) test -run '^$$' -fuzz '^FuzzTableClassify$$' -fuzztime 5s ./internal/cost
 
 build:
 	$(GO) build ./...

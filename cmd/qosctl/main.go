@@ -75,6 +75,9 @@ func main() {
 		if res.Reason != "" {
 			fmt.Printf("reason: %s\n", res.Reason)
 		}
+		if res.RetryAfter > 0 {
+			fmt.Printf("retry after: %s\n", res.RetryAfter)
+		}
 		for _, v := range res.Violations {
 			fmt.Printf("violation: %s\n", v)
 		}
@@ -108,6 +111,9 @@ func main() {
 			log.Fatalf("qosctl: %v", err)
 		}
 		fmt.Printf("status: %s\n", res.Status)
+		if res.RetryAfter > 0 {
+			fmt.Printf("retry after: %s\n", res.RetryAfter)
+		}
 		if res.Offer != nil {
 			printOffer(res.Offer)
 		}
@@ -162,7 +168,14 @@ func main() {
 			log.Fatalf("qosctl: %v", err)
 		}
 		for _, l := range loads {
-			fmt.Printf("%-12s %2d streams  utilization %.2f\n", l.ID, l.ActiveStreams, l.Utilization)
+			health := "healthy"
+			if l.Quarantined {
+				health = fmt.Sprintf("QUARANTINED %s", time.Duration(l.QuarantineMs)*time.Millisecond)
+			} else if l.ConsecutiveFailures > 0 {
+				health = fmt.Sprintf("%d consecutive failure(s)", l.ConsecutiveFailures)
+			}
+			fmt.Printf("%-12s %2d streams  utilization %.2f  %-24s down %d reserve-fail %d connect-fail %d\n",
+				l.ID, l.ActiveStreams, l.Utilization, health, l.DownFailures, l.ReserveFailures, l.ConnectFailures)
 		}
 	case "stats":
 		st, err := c.Stats()

@@ -16,12 +16,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"qosneg"
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
+	"qosneg/internal/faults"
 	"qosneg/internal/media"
 	"qosneg/internal/protocol"
 )
@@ -34,15 +36,40 @@ func main() {
 	tariff := flag.String("pricing", "", "JSON tariff to load (default: built-in cost tables)")
 	verbose := flag.Bool("verbose", false, "log every negotiation decision (the QoS manager's trace)")
 	articles := flag.Int("articles", 5, "synthetic articles to create when no catalog is given")
+	healthThreshold := flag.Int("health-threshold", 3, "consecutive commit failures that quarantine a server (0 disables the breaker)")
+	healthCooldown := flag.Duration("health-cooldown", core.DefaultCooldown, "quarantine period after the breaker trips")
+	retryAfter := flag.Duration("retry-after", core.DefaultRetryAfter, "retry hint attached to FAILEDTRYLATER results")
+	faultSeed := flag.Int64("fault-seed", 0, "seed for the deterministic fault injector (0 disables injection unless another -fault-* flag is set)")
+	faultCrash := flag.String("fault-crash", "", "comma-separated server ids to crash at startup (e.g. server-1)")
+	faultReserve := flag.Float64("fault-reserve-failure", 0, "probability an injected Reserve fails")
+	faultConnect := flag.Float64("fault-connect-failure", 0, "probability an injected Connect fails")
+	faultLatency := flag.Duration("fault-latency", 0, "injected latency per Reserve/Connect")
 	flag.Parse()
 
-	options := []qosneg.Option{qosneg.WithClients(*clients), qosneg.WithServers(*servers)}
+	opts := core.DefaultOptions()
+	opts.Health = core.HealthPolicy{
+		FailureThreshold: *healthThreshold,
+		Cooldown:         *healthCooldown,
+		RetryAfter:       *retryAfter,
+	}
 	if *verbose {
-		opts := core.DefaultOptions()
 		opts.Trace = func(e core.TraceEvent) {
 			log.Printf("negotiate: %-14s %-24s %s", e.Step, e.Offer, e.Detail)
 		}
-		options = append(options, qosneg.WithOptions(opts))
+	}
+	options := []qosneg.Option{
+		qosneg.WithClients(*clients),
+		qosneg.WithServers(*servers),
+		qosneg.WithOptions(opts),
+	}
+	var inj *faults.Injector
+	if *faultSeed != 0 || *faultCrash != "" || *faultReserve > 0 || *faultConnect > 0 || *faultLatency > 0 {
+		seed := *faultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		inj = faults.New(seed)
+		options = append(options, qosneg.WithFaultInjector(inj))
 	}
 	if *tariff != "" {
 		p, err := cost.LoadPricing(*tariff)
@@ -55,6 +82,29 @@ func main() {
 	sys, err := qosneg.New(options...)
 	if err != nil {
 		log.Fatalf("qosnegd: %v", err)
+	}
+	if inj != nil {
+		if *faultReserve > 0 {
+			inj.SetReserveFailure(*faultReserve)
+		}
+		if *faultConnect > 0 {
+			inj.SetConnectFailure(*faultConnect)
+		}
+		if *faultLatency > 0 {
+			inj.SetLatency(*faultLatency)
+		}
+		for _, id := range strings.Split(*faultCrash, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !inj.Crash(media.ServerID(id)) {
+				log.Fatalf("qosnegd: -fault-crash: unknown server %q", id)
+			}
+			log.Printf("fault injector: crashed %s at startup", id)
+		}
+		log.Printf("fault injector armed (reserve-fail %.2f, connect-fail %.2f, latency %s)",
+			*faultReserve, *faultConnect, *faultLatency)
 	}
 	if *catalog != "" {
 		if err := sys.Registry.LoadFile(*catalog); err != nil {

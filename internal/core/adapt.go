@@ -68,8 +68,8 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 			if r.Key() == current.Key() {
 				continue
 			}
-			cm, ok := m.tryCommit(context.Background(), mach, d, u, r)
-			if !ok {
+			cm, fail := m.tryCommit(context.Background(), mach, d, u, r)
+			if fail != nil {
 				continue
 			}
 			s.mu.Lock()

@@ -15,6 +15,7 @@ import (
 	"qosneg/internal/network"
 	"qosneg/internal/offer"
 	"qosneg/internal/profile"
+	"qosneg/internal/qos"
 	"qosneg/internal/registry"
 	"qosneg/internal/transport"
 )
@@ -76,6 +77,10 @@ type Options struct {
 	// commitment and later adaptation; 0 selects DefaultTopK, negative
 	// keeps the full classified set.
 	TopK int
+	// Health tunes the per-server circuit breaker; the zero value keeps
+	// the consecutive-failure breaker off (hard server-down evidence
+	// still quarantines).
+	Health HealthPolicy
 }
 
 // DefaultTopK is how many classified offers a negotiation retains by
@@ -124,6 +129,31 @@ type Result struct {
 	// Reason carries a human-readable diagnostic for the failure
 	// statuses.
 	Reason string
+	// RetryAfter is the retry hint for FAILEDTRYLATER: how long the
+	// caller should wait before renegotiating (the longest remaining
+	// server quarantine, or the policy's RetryAfter for plain capacity
+	// shortage). Zero for every other status.
+	RetryAfter time.Duration
+}
+
+// MediaServer is the continuous-media server surface the manager commits
+// against. *cmfs.Server implements it; the fault injector (package faults)
+// wraps it to simulate crashes and admission failures.
+type MediaServer interface {
+	ID() media.ServerID
+	Config() cmfs.Config
+	Reserve(q qos.NetworkQoS) (cmfs.Reservation, error)
+	Release(id cmfs.ReservationID) error
+	ActiveStreams() int
+	Utilization() float64
+}
+
+// Transport is the connection-establishment surface the manager commits
+// against. *transport.System implements it; the fault injector wraps it to
+// simulate partitions and connect failures.
+type Transport interface {
+	Connect(src, dst network.NodeID, q qos.NetworkQoS) (transport.Connection, error)
+	Close(c transport.Connection) error
 }
 
 // Manager is the QoS manager: it owns the negotiation procedure, the
@@ -134,9 +164,11 @@ type Result struct {
 // counters, each separately.
 type Manager struct {
 	registry  *registry.Registry
-	transport *transport.System
+	transport Transport
 	pricing   cost.Pricing
 	opts      Options
+	// now is the clock the circuit breaker uses; tests may override it.
+	now func() time.Time
 
 	// sessMu guards the session table and id counter only; negotiations
 	// never hold it while enumerating, classifying or committing.
@@ -148,13 +180,17 @@ type Manager struct {
 	srvMu   sync.RWMutex
 	servers map[media.ServerID]serverEntry
 
+	// healthMu guards the per-server circuit-breaker state.
+	healthMu sync.Mutex
+	health   map[media.ServerID]*serverHealth
+
 	// statsMu guards the outcome counters.
 	statsMu sync.Mutex
 	stats   Stats
 }
 
 type serverEntry struct {
-	server *cmfs.Server
+	server MediaServer
 	node   network.NodeID
 }
 
@@ -168,13 +204,21 @@ type Stats struct {
 	FailedWithLocalOffer int
 	Adaptations          int
 	AdaptationFailures   int
+	// Per-cause commit-failure counters: how many resource-commitment
+	// attempts failed because a server was down (or quarantined), because
+	// of a capacity shortage, or because of a hard profile constraint.
+	CommitServerDown int
+	CommitCapacity   int
+	CommitConstraint int
+	// Quarantines counts circuit-breaker trips.
+	Quarantines int
 	// Revenue accumulates the price of completed sessions, in
 	// milli-dollars: the system only bills for deliveries that finished.
 	Revenue cost.Money
 }
 
 // NewManager builds a QoS manager over the given substrate.
-func NewManager(reg *registry.Registry, ts *transport.System, pricing cost.Pricing, opts Options) *Manager {
+func NewManager(reg *registry.Registry, ts Transport, pricing cost.Pricing, opts Options) *Manager {
 	if opts.Classifier == nil {
 		opts.Classifier = offer.SNSPrimary{}
 	}
@@ -186,13 +230,15 @@ func NewManager(reg *registry.Registry, ts *transport.System, pricing cost.Prici
 		transport: ts,
 		pricing:   pricing,
 		opts:      opts,
+		now:       time.Now,
 		servers:   make(map[media.ServerID]serverEntry),
+		health:    make(map[media.ServerID]*serverHealth),
 		sessions:  make(map[SessionID]*Session),
 	}
 }
 
 // AddServer registers a media file server and its network attachment point.
-func (m *Manager) AddServer(s *cmfs.Server, node network.NodeID) {
+func (m *Manager) AddServer(s MediaServer, node network.NodeID) {
 	m.srvMu.Lock()
 	defer m.srvMu.Unlock()
 	m.servers[s.ID()] = serverEntry{server: s, node: node}
@@ -218,6 +264,8 @@ type negOutcome struct {
 	// chosen and commit are set when resources were reserved.
 	chosen offer.Ranked
 	commit commitment
+	// retryAfter is the FAILEDTRYLATER hint.
+	retryAfter time.Duration
 }
 
 // trace emits a trace event when a tracer is installed.
@@ -231,7 +279,11 @@ func (m *Manager) trace(step, offerKey, detail string) {
 // classification. Orderer-capable classifiers (all built-ins) run the
 // streaming parallel pipeline, which keeps only the top-K offers; other
 // classifiers materialize the product and sort it.
-func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.Machine, u profile.UserProfile) ([]offer.Ranked, error) {
+// An exclude filter (the quarantine set) drops variants on unhealthy
+// servers before the product is built, so the pipeline exploits the
+// paper's multi-server variant redundancy instead of burning commit
+// attempts on dead replicas.
+func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.Machine, u profile.UserProfile, exclude func(media.Variant) bool) ([]offer.Ranked, error) {
 	if orderer, ok := m.opts.Classifier.(offer.Orderer); ok {
 		return offer.EnumerateTopK(ctx, doc, mach, m.pricing, u, offer.PipelineOptions{
 			MaxOffers: m.opts.MaxOffers,
@@ -239,12 +291,14 @@ func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.
 			Workers:   m.opts.Concurrency,
 			TopK:      m.opts.topK(),
 			Orderer:   orderer,
+			Exclude:   exclude,
 		})
 	}
 	offers, err := offer.Enumerate(doc, mach, m.pricing, offer.EnumerateOptions{
 		MaxOffers: m.opts.MaxOffers,
 		Guarantee: u.Desired.Cost.Guarantee,
 		Workers:   m.opts.Concurrency,
+		Exclude:   exclude,
 	})
 	if err != nil {
 		return nil, err
@@ -270,11 +324,24 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 
 	// Steps 2–4: static compatibility checking, offer enumeration,
 	// classification parameters and classification, on the streaming
-	// parallel pipeline.
-	ranked, err := m.classify(ctx, doc, mach, u)
+	// parallel pipeline. Variants on quarantined servers are excluded up
+	// front: the breaker already has evidence they cannot commit.
+	exclude, quarRemain := m.quarantineExclude()
+	ranked, err := m.classify(ctx, doc, mach, u, exclude)
 	if err != nil {
 		var nv *offer.NoVariantError
 		if errors.As(err, &nv) {
+			if nv.Excluded {
+				// Decodable variants exist but every one lives on a
+				// quarantined server: a transient shortage, not a
+				// structural mismatch.
+				m.trace("no-variant", "", fmt.Sprintf("%s (all variants quarantined)", nv.Monomedia))
+				return negOutcome{
+					status:     FailedTryLater,
+					retryAfter: maxDuration(quarRemain, m.opts.Health.retryAfter()),
+					reason:     fmt.Sprintf("every decodable variant of %s is on a quarantined server", nv.Monomedia),
+				}, nil
+			}
 			m.trace("no-variant", "", string(nv.Monomedia))
 			return negOutcome{
 				status: FailedWithoutOffer,
@@ -285,17 +352,39 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 	}
 	acceptable, feasible := offer.Partition(ranked, u)
 
-	// Step 5: resource commitment, acceptable set first.
+	// Step 5: resource commitment, acceptable set first. Offers touching
+	// a server that already failed as down this negotiation are skipped —
+	// a dead server is attempted at most once per run.
+	dead := make(map[media.ServerID]bool)
+	var downs, capacities, constraints, skipped int
+	var retryAfter time.Duration
 	for _, group := range [][]offer.Ranked{acceptable, feasible} {
 		for _, r := range group {
+			if id, onDead := offerOnDead(r, dead); onDead {
+				m.trace("skip-dead", r.Key(), string(id))
+				skipped++
+				continue
+			}
 			m.trace("commit-attempt", r.Key(), fmt.Sprintf("%s OIF=%.4g %s", r.Status, r.OIF, r.Total()))
-			cm, ok := m.tryCommit(ctx, mach, doc, u, r)
-			if !ok {
+			cm, fail := m.tryCommit(ctx, mach, doc, u, r)
+			if fail != nil {
 				if err := ctx.Err(); err != nil {
 					m.trace("commit-failed", r.Key(), err.Error())
 					return negOutcome{}, err
 				}
-				m.trace("commit-failed", r.Key(), "insufficient resources or constraint violated")
+				m.trace("commit-failed", r.Key(), fail.String())
+				switch fail.cause {
+				case CauseServerDown:
+					downs++
+					dead[fail.server] = true
+					if rem, ok := m.Quarantined(fail.server); ok && rem > retryAfter {
+						retryAfter = rem
+					}
+				case CauseCapacity:
+					capacities++
+				case CauseConstraint:
+					constraints++
+				}
 				continue
 			}
 			status := FailedWithOffer
@@ -307,13 +396,50 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 		}
 	}
 
-	// Every feasible offer failed commitment: resources shortage.
-	m.trace("exhausted", "", fmt.Sprintf("%d feasible offers", len(ranked)))
+	// Every feasible offer failed commitment. If each attempt hit a hard
+	// profile constraint (start delay, sync tolerance), no retry can help:
+	// there is no supportable configuration for this profile at all. Any
+	// shortage or dead server, by contrast, is transient — FAILEDTRYLATER
+	// with an honest retry hint.
+	m.trace("exhausted", "", fmt.Sprintf("%d feasible offers (%d server-down, %d capacity, %d constraint, %d skipped)",
+		len(ranked), downs, capacities, constraints, skipped))
+	if constraints > 0 && downs+capacities+skipped == 0 {
+		return negOutcome{
+			status: FailedWithoutOffer,
+			ranked: ranked,
+			reason: fmt.Sprintf("all %d feasible offers violate hard constraints of the profile", len(ranked)),
+		}, nil
+	}
+	retryAfter = maxDuration(retryAfter, maxDuration(quarRemain, m.opts.Health.retryAfter()))
 	return negOutcome{
-		status: FailedTryLater,
-		ranked: ranked,
-		reason: fmt.Sprintf("no resources for any of %d feasible offers", len(ranked)),
+		status:     FailedTryLater,
+		ranked:     ranked,
+		retryAfter: retryAfter,
+		reason: fmt.Sprintf("no resources for any of %d feasible offers (%d server-down, %d capacity, %d constraint)",
+			len(ranked), downs+skipped, capacities, constraints),
 	}, nil
+}
+
+// offerOnDead reports whether any choice of the offer is served by a
+// server already seen down this negotiation.
+func offerOnDead(r offer.Ranked, dead map[media.ServerID]bool) (media.ServerID, bool) {
+	if len(dead) == 0 {
+		return "", false
+	}
+	for _, ch := range r.Choices {
+		if dead[ch.Variant.Server] {
+			return ch.Variant.Server, true
+		}
+	}
+	return "", false
+}
+
+// maxDuration returns the larger duration.
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // choicePeriodFor resolves the confirmation window for a profile.
@@ -359,6 +485,7 @@ func (m *Manager) NegotiateContext(ctx context.Context, mach client.Machine, doc
 			Offer:      out.localOffer,
 			Violations: out.violations,
 			Reason:     out.reason,
+			RetryAfter: out.retryAfter,
 		}, nil
 	}
 	sess := &Session{
@@ -440,6 +567,7 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 			Offer:      out.localOffer,
 			Violations: out.violations,
 			Reason:     out.reason,
+			RetryAfter: out.retryAfter,
 		}, nil
 	}
 	s.mu.Lock()
@@ -479,9 +607,12 @@ func (m *Manager) serverFor(id media.ServerID) (serverEntry, bool) {
 }
 
 // tryCommit reserves server and network resources for every choice of the
-// offer. It either commits everything or rolls back and reports failure;
-// a ctx canceled mid-commit rolls back the partial commitment.
-func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.Document, u profile.UserProfile, r offer.Ranked) (commitment, bool) {
+// offer. It either commits everything (nil failure) or rolls back and
+// reports a typed failure cause: server-down, capacity shortage, hard
+// constraint, or cancellation. Server-attributable failures also feed the
+// circuit breaker, so quarantines accrue no matter which entry point
+// (negotiate, renegotiate, adapt) drove the attempt.
+func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.Document, u profile.UserProfile, r offer.Ranked) (commitment, *commitFailure) {
 	var cm commitment
 	rollback := func() {
 		for _, sr := range cm.servers {
@@ -491,31 +622,54 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 			m.transport.Close(c)
 		}
 	}
+	fail := func(cause FailureCause, server media.ServerID, op string, err error) (commitment, *commitFailure) {
+		rollback()
+		f := &commitFailure{cause: cause, server: server, op: op, err: err}
+		m.recordCommitFailure(f)
+		return commitment{}, f
+	}
 	var startDelay time.Duration
 	jitterByMono := make(map[media.MonomediaID]time.Duration, len(r.Choices))
 	for _, ch := range r.Choices {
-		if ctx.Err() != nil {
+		if err := ctx.Err(); err != nil {
 			rollback()
-			return commitment{}, false
+			return commitment{}, &commitFailure{cause: CauseCanceled, err: err}
 		}
-		entry, ok := m.serverFor(ch.Variant.Server)
-		if !ok {
+		sid := ch.Variant.Server
+		if rem, ok := m.Quarantined(sid); ok {
+			// No new evidence — the breaker already tripped — so this is
+			// not recorded against the server again.
 			rollback()
-			return commitment{}, false
+			return commitment{}, &commitFailure{
+				cause:  CauseServerDown,
+				server: sid,
+				err:    fmt.Errorf("%w: %s quarantined for %s", ErrServerDown, sid, rem.Round(time.Millisecond)),
+			}
+		}
+		entry, ok := m.serverFor(sid)
+		if !ok {
+			return fail(CauseServerDown, sid, "reserve", fmt.Errorf("%w: %s not registered", ErrServerDown, sid))
 		}
 		netQoS := ch.Variant.NetworkQoS()
 		res, err := entry.server.Reserve(netQoS)
 		if err != nil {
-			rollback()
-			return commitment{}, false
+			cause := CauseCapacity
+			if errors.Is(err, ErrServerDown) {
+				cause = CauseServerDown
+			}
+			return fail(cause, sid, "reserve", fmt.Errorf("reserve on %s: %w", sid, err))
 		}
 		cm.servers = append(cm.servers, serverReservation{server: entry.server, res: res})
 		conn, err := m.transport.Connect(entry.node, mach.Node, netQoS)
 		if err != nil {
-			rollback()
-			return commitment{}, false
+			cause := CauseCapacity
+			if errors.Is(err, ErrServerDown) {
+				cause = CauseServerDown
+			}
+			return fail(cause, sid, "connect", fmt.Errorf("connect %s -> %s: %w", entry.node, mach.Node, err))
 		}
 		cm.conns = append(cm.conns, conn)
+		m.recordServerSuccess(sid)
 		m.trace("choice-committed", r.Key(), string(ch.Monomedia))
 		if d := conn.Metrics.Delay + entry.server.Config().RoundLength; d > startDelay {
 			startDelay = d
@@ -527,8 +681,8 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 	// Time profile: the committed configuration must be able to start the
 	// presentation within the user's start-delay bound.
 	if max := u.Desired.Time.MaxStartDelay; max > 0 && startDelay > max {
-		rollback()
-		return commitment{}, false
+		return fail(CauseConstraint, "", "",
+			fmt.Errorf("start delay %s exceeds profile bound %s", startDelay, max))
 	}
 	// Synchronization feasibility: for every temporal constraint with a
 	// skew tolerance, the committed paths' combined jitter — the bound the
@@ -541,11 +695,11 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 		ja, okA := jitterByMono[tc.A]
 		jb, okB := jitterByMono[tc.B]
 		if okA && okB && ja+jb > tc.Tolerance {
-			rollback()
-			return commitment{}, false
+			return fail(CauseConstraint, "", "",
+				fmt.Errorf("combined jitter %s exceeds sync tolerance %s between %s and %s", ja+jb, tc.Tolerance, tc.A, tc.B))
 		}
 	}
-	return cm, true
+	return cm, nil
 }
 
 // release frees a session's committed resources.
@@ -697,15 +851,28 @@ func (m *Manager) Sessions(state SessionState) []*Session {
 	return out
 }
 
-// ServerLoad is one row of ServerLoads.
+// ServerLoad is one row of ServerLoads: current load plus the circuit
+// breaker's view of the server's health.
 type ServerLoad struct {
 	ID            media.ServerID `json:"id"`
 	ActiveStreams int            `json:"activeStreams"`
 	Utilization   float64        `json:"utilization"`
+	// Quarantined is true while the circuit breaker holds the server out
+	// of classification and commitment; QuarantineMs is the remaining
+	// cooldown.
+	Quarantined  bool  `json:"quarantined,omitempty"`
+	QuarantineMs int64 `json:"quarantineMs,omitempty"`
+	// ConsecutiveFailures counts commit failures since the last success;
+	// the remaining counters break failures down by cause and operation.
+	ConsecutiveFailures int `json:"consecutiveFailures,omitempty"`
+	DownFailures        int `json:"downFailures,omitempty"`
+	ReserveFailures     int `json:"reserveFailures,omitempty"`
+	ConnectFailures     int `json:"connectFailures,omitempty"`
+	Quarantines         int `json:"quarantines,omitempty"`
 }
 
-// ServerLoads reports each registered media server's current load, sorted
-// by id; the ops view behind `qosctl servers`.
+// ServerLoads reports each registered media server's current load and
+// breaker health, sorted by id; the ops view behind `qosctl servers`.
 func (m *Manager) ServerLoads() []ServerLoad {
 	m.srvMu.RLock()
 	entries := make([]serverEntry, 0, len(m.servers))
@@ -715,11 +882,13 @@ func (m *Manager) ServerLoads() []ServerLoad {
 	m.srvMu.RUnlock()
 	out := make([]ServerLoad, 0, len(entries))
 	for _, e := range entries {
-		out = append(out, ServerLoad{
+		row := ServerLoad{
 			ID:            e.server.ID(),
 			ActiveStreams: e.server.ActiveStreams(),
 			Utilization:   e.server.Utilization(),
-		})
+		}
+		m.healthSnapshot(&row)
+		out = append(out, row)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

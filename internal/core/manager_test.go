@@ -408,8 +408,13 @@ func TestStartDelayConstraint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Status != FailedTryLater {
+	// Every offer fails the hard start-delay bound, so no retry can
+	// help: FAILEDWITHOUTOFFER, not FAILEDTRYLATER.
+	if res.Status != FailedWithoutOffer {
 		t.Errorf("status = %v; start-delay bound not enforced", res.Status)
+	}
+	if res.RetryAfter != 0 {
+		t.Errorf("RetryAfter = %v for a constraint failure", res.RetryAfter)
 	}
 }
 

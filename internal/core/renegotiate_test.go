@@ -68,14 +68,15 @@ func TestRenegotiateFailureAbortsSession(t *testing.T) {
 	}
 	id := res.Session.ID
 	// Renegotiate with an impossible start-delay constraint: no offer can
-	// be committed.
+	// be committed, and since every failure is a hard constraint the
+	// status is FAILEDWITHOUTOFFER.
 	u := tvProfile()
 	u.Desired.Time.MaxStartDelay = time.Nanosecond
 	res2, err := b.man.Renegotiate(id, u)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res2.Status != FailedTryLater {
+	if res2.Status != FailedWithoutOffer {
 		t.Fatalf("status = %v", res2.Status)
 	}
 	if res.Session.State() != Aborted {

@@ -49,7 +49,7 @@ type commitment struct {
 }
 
 type serverReservation struct {
-	server *cmfs.Server
+	server MediaServer
 	res    cmfs.Reservation
 }
 

@@ -29,7 +29,10 @@ func TestCommitEnforcesSyncTolerance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Status != FailedTryLater {
+	// The tolerance is a hard constraint of the document: every offer
+	// violates it, so the status is FAILEDWITHOUTOFFER (retrying cannot
+	// shrink path jitter).
+	if res.Status != FailedWithoutOffer {
 		t.Fatalf("status = %v; sync tolerance not enforced", res.Status)
 	}
 	if b.net.ActiveReservations() != 0 {

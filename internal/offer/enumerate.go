@@ -21,11 +21,20 @@ var ErrTooManyOffers = errors.New("offer: too many feasible system offers")
 // ("no possible instantiation of the functional configuration to a
 // physical configuration exists, e.g. the client machine does not support
 // a suitable decoder").
+//
+// Excluded distinguishes the transient case: decodable variants existed
+// but every one was dropped by the exclude filter (variants on quarantined
+// servers), which callers map to FAILEDTRYLATER rather than
+// FAILEDWITHOUTOFFER.
 type NoVariantError struct {
 	Monomedia media.MonomediaID
+	Excluded  bool
 }
 
 func (e *NoVariantError) Error() string {
+	if e.Excluded {
+		return fmt.Sprintf("offer: every decodable variant for monomedia %s is excluded", e.Monomedia)
+	}
 	return fmt.Sprintf("offer: no decodable variant for monomedia %s", e.Monomedia)
 }
 
@@ -38,6 +47,9 @@ type EnumerateOptions struct {
 	// Workers bounds the per-monomedia filtering fan-out; 0 filters on the
 	// calling goroutine.
 	Workers int
+	// Exclude, when non-nil, drops variants for which it returns true
+	// before the product is built (the QoS manager's server quarantine).
+	Exclude func(media.Variant) bool
 }
 
 // Candidate is one decodable variant of a monomedia component, annotated
@@ -89,16 +101,22 @@ func maxOffersOrDefault(n int) int {
 // (a bounded fan-out; workers<=1 filters inline).
 //
 // It returns a *NoVariantError naming the first (in document order)
-// monomedia with no decodable variant, and ctx's error if the context is
+// monomedia with no decodable variant — with Excluded set when only the
+// exclude filter emptied the list — and ctx's error if the context is
 // canceled mid-filter.
-func Filter(ctx context.Context, doc media.Document, m client.Machine, pricing cost.Pricing, g cost.Guarantee, workers int) (Candidates, error) {
+func Filter(ctx context.Context, doc media.Document, m client.Machine, pricing cost.Pricing, g cost.Guarantee, workers int, exclude func(media.Variant) bool) (Candidates, error) {
 	cands := make(Candidates, len(doc.Monomedia))
+	excluded := make([]bool, len(doc.Monomedia))
 	filterOne := func(i int) {
 		mono := doc.Monomedia[i]
 		continuous := mono.Kind.Continuous()
 		for _, v := range mono.Variants {
 			for _, layer := range media.ScalableLayers(v) {
 				if !m.CanDecode(layer) {
+					continue
+				}
+				if exclude != nil && exclude(layer) {
+					excluded[i] = true
 					continue
 				}
 				c := Candidate{Variant: layer, Net: layer.NetworkQoS(), Continuous: continuous}
@@ -138,7 +156,7 @@ func Filter(ctx context.Context, doc media.Document, m client.Machine, pricing c
 	}
 	for i, mono := range doc.Monomedia {
 		if len(cands[i]) == 0 {
-			return nil, &NoVariantError{Monomedia: mono.ID}
+			return nil, &NoVariantError{Monomedia: mono.ID, Excluded: excluded[i]}
 		}
 	}
 	return cands, nil
@@ -234,7 +252,7 @@ func Walk(doc media.Document, cands Candidates, yield func(SystemOffer) bool) {
 // the streaming EnumerateTopK instead and keeps only the offers that can
 // still win classification.
 func Enumerate(doc media.Document, m client.Machine, pricing cost.Pricing, opts EnumerateOptions) ([]SystemOffer, error) {
-	cands, err := Filter(context.Background(), doc, m, pricing, opts.Guarantee, opts.Workers)
+	cands, err := Filter(context.Background(), doc, m, pricing, opts.Guarantee, opts.Workers, opts.Exclude)
 	if err != nil {
 		return nil, err
 	}

@@ -35,6 +35,9 @@ type PipelineOptions struct {
 	TopK int
 	// Orderer is the classification ordering; nil selects SNSPrimary.
 	Orderer Orderer
+	// Exclude, when non-nil, drops variants for which it returns true
+	// before the product is built (the QoS manager's server quarantine).
+	Exclude func(media.Variant) bool
 }
 
 // candidateStats is the profile-dependent half of a candidate's
@@ -153,7 +156,7 @@ func EnumerateTopK(ctx context.Context, doc media.Document, mach client.Machine,
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cands, err := Filter(ctx, doc, mach, pricing, opts.Guarantee, workers)
+	cands, err := Filter(ctx, doc, mach, pricing, opts.Guarantee, workers, opts.Exclude)
 	if err != nil {
 		return nil, err
 	}

@@ -74,7 +74,7 @@ func TestEnumerateMatchesWalk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cands, err := Filter(context.Background(), doc, m, pricing, cost.BestEffort, 4)
+	cands, err := Filter(context.Background(), doc, m, pricing, cost.BestEffort, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,7 +3,9 @@ package protocol
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -15,57 +17,187 @@ import (
 	"qosneg/internal/profile"
 )
 
+// ErrClientClosed is returned for RPCs on a closed client.
+var ErrClientClosed = errors.New("protocol: client closed")
+
+// RetryPolicy tunes the client's self-healing: how often a broken
+// connection is redialed and idempotent RPCs retried, with capped
+// exponential backoff plus jitter between attempts. The zero value selects
+// the defaults below.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per idempotent RPC
+	// (default 4). 1 disables retries.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms);
+	// each further retry doubles it up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter is the random fraction added to each backoff, in [0, Jitter)
+	// of the delay (default 0.2).
+	Jitter float64
+}
+
+// DefaultRetryPolicy returns the policy Dial uses: 4 attempts, 50ms base
+// delay doubling to a 2s cap, 20% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.2}
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Jitter <= 0 {
+		p.Jitter = d.Jitter
+	}
+	return p
+}
+
+// backoff returns the delay before retry number n (0-based), capped
+// exponential with jitter.
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < n && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d + time.Duration(p.Jitter*rand.Float64()*float64(d))
+}
+
 // Client is the profile-manager side of the wire protocol: it connects to a
 // negotiation daemon and performs negotiate/confirm/reject rounds. It is
 // safe for concurrent use; requests on one connection are serialized.
 //
 // Every RPC has a *Context form taking a context.Context. Because the
 // protocol is a single stream of request/response pairs, cancellation is
-// implemented by poisoning the connection's deadline: a canceled in-flight
-// call returns the context's error and leaves the connection unusable —
-// close the client and dial again.
+// implemented by poisoning the connection's deadline; a canceled in-flight
+// call returns the context's error and marks the connection broken.
+//
+// Clients built by Dial self-heal: a broken connection is automatically
+// redialed with capped exponential backoff, and read-only RPCs (Session,
+// ListDocuments, ListSessions, Stats, Invoice, ServerLoads) are retried on
+// the fresh connection. State-changing RPCs (Negotiate, Renegotiate,
+// Confirm, Reject) are never retried — a lost response could mean the
+// daemon already committed resources — but they do get a fresh dial if the
+// connection was already known broken before the attempt. Clients built by
+// NewClient have no address to redial and fail fast instead.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
+	mu     sync.Mutex
+	addr   string
+	retry  RetryPolicy
+	conn   net.Conn
+	enc    *json.Encoder
+	dec    *json.Decoder
+	broken bool
+	closed bool
+	// redials counts successful reconnects, for tests and diagnostics.
+	redials int
 }
 
-// Dial connects to a negotiation daemon.
+// Dial connects to a negotiation daemon with the default retry policy.
 func Dial(addr string) (*Client, error) {
 	return DialContext(context.Background(), addr)
 }
 
-// DialContext connects to a negotiation daemon, abandoning the attempt when
-// ctx is canceled.
+// DialContext connects to a negotiation daemon with the default retry
+// policy, abandoning the attempt when ctx is canceled.
 func DialContext(ctx context.Context, addr string) (*Client, error) {
+	return DialRetry(ctx, addr, DefaultRetryPolicy())
+}
+
+// DialRetry connects to a negotiation daemon with an explicit retry
+// policy. The initial dial is a single attempt — a daemon that is down now
+// fails fast — and the policy governs redials and idempotent-RPC retries
+// afterward.
+func DialRetry(ctx context.Context, addr string, policy RetryPolicy) (*Client, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	c := NewClient(conn)
+	c.addr = addr
+	c.retry = policy
+	return c, nil
 }
 
-// NewClient wraps an established connection.
+// NewClient wraps an established connection. Having no address, the client
+// cannot redial: a broken connection stays broken.
 func NewClient(conn net.Conn) *Client {
 	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
 }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close closes the connection; subsequent RPCs return ErrClientClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}
+
+// Redials reports how many times the client reconnected.
+func (c *Client) Redials() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redials
+}
+
+// ensureConnLocked makes sure a usable connection exists, redialing a
+// broken one; the caller holds c.mu.
+func (c *Client) ensureConnLocked(ctx context.Context) error {
+	if c.closed {
+		return ErrClientClosed
+	}
+	if c.conn != nil && !c.broken {
+		return nil
+	}
+	if c.addr == "" {
+		return fmt.Errorf("protocol: connection broken and not redialable (built by NewClient)")
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("protocol: redial %s: %w", c.addr, err)
+	}
+	c.conn, c.enc, c.dec = conn, json.NewEncoder(conn), json.NewDecoder(conn)
+	c.broken = false
+	c.redials++
+	return nil
+}
 
 // arm makes a ctx cancellation interrupt reads and writes on the
 // connection by forcing its deadline into the past. The returned stop must
-// be called when the call completes; finish maps an I/O error back to the
-// context's error when the cancellation fired.
-func (c *Client) arm(ctx context.Context) (stop func() bool) {
+// be called when the call completes; when it reports false the caller must
+// wait on done before touching the deadline again — the poisoning callback
+// may still be mid-flight.
+func (c *Client) arm(ctx context.Context) (stop func() bool, done chan struct{}) {
+	done = make(chan struct{})
 	if ctx.Done() == nil {
-		return func() bool { return true }
+		close(done)
+		return func() bool { return true }, done
 	}
-	return context.AfterFunc(ctx, func() {
-		c.conn.SetDeadline(time.Now())
+	conn := c.conn
+	stop = context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Now())
+		close(done)
 	})
+	return stop, done
 }
 
 func (c *Client) finish(ctx context.Context, err error) error {
@@ -75,24 +207,95 @@ func (c *Client) finish(ctx context.Context, err error) error {
 	return err
 }
 
-func (c *Client) roundTrip(ctx context.Context, req Request) (Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return Response{}, fmt.Errorf("protocol: %w", err)
-	}
-	defer c.arm(ctx)()
-	if err := c.enc.Encode(req); err != nil {
-		return Response{}, c.finish(ctx, fmt.Errorf("protocol: send: %w", err))
-	}
+// exchangeLocked performs one request/response on the current connection;
+// the caller holds c.mu. Transport failures mark the connection broken.
+func (c *Client) exchangeLocked(ctx context.Context, req Request) (Response, error) {
+	stop, done := c.arm(ctx)
+	sendErr := c.enc.Encode(req)
 	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
-		return Response{}, c.finish(ctx, fmt.Errorf("protocol: receive: %w", err))
+	var recvErr error
+	if sendErr == nil {
+		recvErr = c.dec.Decode(&resp)
+	}
+	if !stop() {
+		// The AfterFunc fired. Wait for it, then clear the poisoned
+		// deadline if the exchange actually completed first — otherwise
+		// the stale past deadline would fail every later call on this
+		// connection.
+		<-done
+		if sendErr == nil && recvErr == nil {
+			c.conn.SetDeadline(time.Time{})
+		}
+	}
+	if sendErr != nil {
+		c.broken = true
+		return Response{}, c.finish(ctx, fmt.Errorf("protocol: send: %w", sendErr))
+	}
+	if recvErr != nil {
+		c.broken = true
+		return Response{}, c.finish(ctx, fmt.Errorf("protocol: receive: %w", recvErr))
 	}
 	if resp.Type == MsgError {
 		return resp, fmt.Errorf("protocol: server error: %s", resp.Error)
 	}
 	return resp, nil
+}
+
+// roundTrip performs one RPC. Idempotent RPCs are retried across redials
+// per the retry policy; non-idempotent ones get at most a fresh dial (when
+// the connection was already broken) and a single exchange.
+func (c *Client) roundTrip(ctx context.Context, req Request, idempotent bool) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	policy := c.retry.withDefaults()
+	attempts := 1
+	if idempotent && c.addr != "" {
+		attempts = policy.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Response{}, fmt.Errorf("protocol: %w", err)
+		}
+		if attempt > 0 {
+			if err := sleepCtx(ctx, policy.backoff(attempt-1)); err != nil {
+				return Response{}, fmt.Errorf("protocol: %w", err)
+			}
+		}
+		if err := c.ensureConnLocked(ctx); err != nil {
+			if errors.Is(err, ErrClientClosed) || c.addr == "" {
+				return Response{}, err
+			}
+			lastErr = err
+			if !idempotent {
+				break
+			}
+			continue
+		}
+		resp, err := c.exchangeLocked(ctx, req)
+		if err == nil || !c.broken {
+			// Success, or a server-reported error: the connection is
+			// fine, nothing to heal.
+			return resp, err
+		}
+		lastErr = err
+		if !idempotent {
+			break
+		}
+	}
+	return Response{}, lastErr
+}
+
+// sleepCtx sleeps for d or until ctx is canceled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // NegotiationResult is the client-side view of a negotiation outcome.
@@ -104,6 +307,8 @@ type NegotiationResult struct {
 	ChoicePeriod time.Duration
 	Violations   []string
 	Reason       string
+	// RetryAfter is the daemon's retry hint for FAILEDTRYLATER.
+	RetryAfter time.Duration
 }
 
 func negotiationResult(resp Response) (NegotiationResult, error) {
@@ -119,6 +324,7 @@ func negotiationResult(resp Response) (NegotiationResult, error) {
 		ChoicePeriod: time.Duration(resp.ChoicePeriodMs) * time.Millisecond,
 		Violations:   resp.Violations,
 		Reason:       resp.Reason,
+		RetryAfter:   time.Duration(resp.RetryAfterMs) * time.Millisecond,
 	}, nil
 }
 
@@ -136,7 +342,7 @@ func (c *Client) NegotiateContext(ctx context.Context, mach client.Machine, doc 
 		Machine:  &mach,
 		Document: doc,
 		Profile:  &u,
-	})
+	}, false)
 	if err != nil {
 		return NegotiationResult{}, err
 	}
@@ -154,7 +360,7 @@ func (c *Client) Renegotiate(id core.SessionID, u profile.UserProfile) (Negotiat
 // RenegotiateContext re-runs the negotiation for a reserved session with a
 // modified profile.
 func (c *Client) RenegotiateContext(ctx context.Context, id core.SessionID, u profile.UserProfile) (NegotiationResult, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgRenegotiate, Session: id, Profile: &u})
+	resp, err := c.roundTrip(ctx, Request{Type: MsgRenegotiate, Session: id, Profile: &u}, false)
 	if err != nil {
 		return NegotiationResult{}, err
 	}
@@ -170,7 +376,7 @@ func (c *Client) Confirm(id core.SessionID) error {
 
 // ConfirmContext accepts a reserved offer.
 func (c *Client) ConfirmContext(ctx context.Context, id core.SessionID) error {
-	_, err := c.roundTrip(ctx, Request{Type: MsgConfirm, Session: id})
+	_, err := c.roundTrip(ctx, Request{Type: MsgConfirm, Session: id}, false)
 	return err
 }
 
@@ -183,7 +389,7 @@ func (c *Client) Reject(id core.SessionID) error {
 
 // RejectContext declines a reserved offer, releasing its resources.
 func (c *Client) RejectContext(ctx context.Context, id core.SessionID) error {
-	_, err := c.roundTrip(ctx, Request{Type: MsgReject, Session: id})
+	_, err := c.roundTrip(ctx, Request{Type: MsgReject, Session: id}, false)
 	return err
 }
 
@@ -215,7 +421,7 @@ func (c *Client) Session(id core.SessionID) (SessionInfo, error) {
 
 // SessionContext queries a session's state.
 func (c *Client) SessionContext(ctx context.Context, id core.SessionID) (SessionInfo, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgSession, Session: id})
+	resp, err := c.roundTrip(ctx, Request{Type: MsgSession, Session: id}, true)
 	if err != nil {
 		return SessionInfo{}, err
 	}
@@ -234,21 +440,34 @@ func (c *Client) Watch(id core.SessionID, interval time.Duration, fn func(Sessio
 // session completes or aborts, calling fn for every state or transition
 // change. The connection is busy for the duration; use a dedicated client.
 // A negative or zero interval selects the server default. Canceling ctx
-// ends the watch with the context's error (and poisons the connection, as
-// for any canceled call).
+// ends the watch with the context's error; the watch itself is not
+// resumed, but the client redials for the next RPC.
 func (c *Client) WatchContext(ctx context.Context, id core.SessionID, interval time.Duration, fn func(SessionInfo)) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("protocol: %w", err)
 	}
-	defer c.arm(ctx)()
+	if err := c.ensureConnLocked(ctx); err != nil {
+		return err
+	}
+	stop, done := c.arm(ctx)
+	defer func() {
+		if !stop() {
+			<-done
+			if !c.broken {
+				c.conn.SetDeadline(time.Time{})
+			}
+		}
+	}()
 	if err := c.enc.Encode(Request{Type: MsgWatch, Session: id, IntervalMs: interval.Milliseconds()}); err != nil {
+		c.broken = true
 		return c.finish(ctx, fmt.Errorf("protocol: send: %w", err))
 	}
 	for {
 		var resp Response
 		if err := c.dec.Decode(&resp); err != nil {
+			c.broken = true
 			return c.finish(ctx, fmt.Errorf("protocol: receive: %w", err))
 		}
 		if resp.Type == MsgError {
@@ -272,7 +491,7 @@ func (c *Client) ListDocuments(query string) ([]DocumentSummary, error) {
 // ListDocumentsContext lists the daemon's catalog, optionally filtered by a
 // title substring.
 func (c *Client) ListDocumentsContext(ctx context.Context, query string) ([]DocumentSummary, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgListDocuments, Query: query})
+	resp, err := c.roundTrip(ctx, Request{Type: MsgListDocuments, Query: query}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +507,7 @@ func (c *Client) ListSessions() ([]SessionSummary, error) {
 
 // ListSessionsContext lists the daemon's sessions, ordered by id.
 func (c *Client) ListSessionsContext(ctx context.Context) ([]SessionSummary, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgListSessions})
+	resp, err := c.roundTrip(ctx, Request{Type: MsgListSessions}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +523,7 @@ func (c *Client) Invoice(id core.SessionID) (cost.Invoice, error) {
 
 // InvoiceContext fetches a session's itemized bill.
 func (c *Client) InvoiceContext(ctx context.Context, id core.SessionID) (cost.Invoice, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgInvoice, Session: id})
+	resp, err := c.roundTrip(ctx, Request{Type: MsgInvoice, Session: id}, true)
 	if err != nil {
 		return cost.Invoice{}, err
 	}
@@ -323,7 +542,7 @@ func (c *Client) ServerLoads() ([]core.ServerLoad, error) {
 
 // ServerLoadsContext fetches the media servers' current load.
 func (c *Client) ServerLoadsContext(ctx context.Context) ([]core.ServerLoad, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgServerLoads})
+	resp, err := c.roundTrip(ctx, Request{Type: MsgServerLoads}, true)
 	if err != nil {
 		return nil, err
 	}
@@ -339,7 +558,7 @@ func (c *Client) Stats() (core.Stats, error) {
 
 // StatsContext fetches the daemon's outcome counters.
 func (c *Client) StatsContext(ctx context.Context) (core.Stats, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgStats})
+	resp, err := c.roundTrip(ctx, Request{Type: MsgStats}, true)
 	if err != nil {
 		return core.Stats{}, err
 	}

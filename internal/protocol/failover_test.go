@@ -1,0 +1,100 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+
+	"qosneg/internal/cmfs"
+	"qosneg/internal/core"
+	"qosneg/internal/faults"
+	"qosneg/internal/qos"
+	"qosneg/internal/testbed"
+)
+
+// TestWireFailoverWithCrashedReplica is the acceptance scenario end to end
+// over the wire: one of two replica servers is crashed, yet negotiation
+// still reserves through the survivor, and ServerLoads reports the dead
+// server's quarantine to the operator.
+func TestWireFailoverWithCrashedReplica(t *testing.T) {
+	inj := faults.New(3)
+	bed := testbed.MustNew(testbed.Spec{Faults: inj})
+	if _, err := bed.AddNewsArticle("news-1", "Election night", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h := serveHarness(t, bed)
+	c := h.dial(t)
+
+	if !inj.Crash("server-1") {
+		t.Fatal("server-1 not wrapped")
+	}
+	res, err := c.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.Reserved() {
+		t.Fatalf("status = %v (%s); want failover onto server-2", res.Status, res.Reason)
+	}
+	if res.RetryAfter != 0 {
+		t.Errorf("reserved result carries RetryAfter %v", res.RetryAfter)
+	}
+	if err := c.Confirm(res.Session); err != nil {
+		t.Fatal(err)
+	}
+
+	loads, err := c.ServerLoads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawQuarantine bool
+	for _, l := range loads {
+		if l.ID == "server-1" {
+			sawQuarantine = l.Quarantined && l.QuarantineMs > 0 && l.DownFailures > 0
+			if l.ActiveStreams != 0 {
+				t.Errorf("crashed server reports %d streams", l.ActiveStreams)
+			}
+		}
+	}
+	if !sawQuarantine {
+		t.Errorf("server-1 quarantine not visible over the wire: %+v", loads)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommitServerDown == 0 || st.Quarantines == 0 {
+		t.Errorf("stats over the wire = %+v; want server-down and quarantine counters", st)
+	}
+}
+
+// TestWireShortageRetryAfter: a genuine full shortage comes back as
+// FAILEDTRYLATER with a non-zero RetryAfter hint carried through the wire
+// protocol.
+func TestWireShortageRetryAfter(t *testing.T) {
+	cfg := cmfs.Config{
+		DiskRate:    64 * qos.KBitPerSecond,
+		SeekTime:    time.Millisecond,
+		RoundLength: time.Second,
+		MaxStreams:  1,
+	}
+	bed := testbed.MustNew(testbed.Spec{ServerConfig: &cfg})
+	if _, err := bed.AddNewsArticle("news-1", "Election night", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	h := serveHarness(t, bed)
+	c := h.dial(t)
+
+	res, err := c.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.FailedTryLater {
+		t.Fatalf("status = %v (%s)", res.Status, res.Reason)
+	}
+	if res.RetryAfter <= 0 {
+		t.Errorf("RetryAfter = %v; the hint was lost on the wire", res.RetryAfter)
+	}
+	if res.Session != 0 {
+		t.Errorf("FAILEDTRYLATER carried session %d", res.Session)
+	}
+}

@@ -117,6 +117,8 @@ type Response struct {
 	// ChoicePeriodMs is how long the reservation stays valid.
 	ChoicePeriodMs int64    `json:"choicePeriodMs,omitempty"`
 	Violations     []string `json:"violations,omitempty"`
+	// RetryAfterMs is the retry hint for FAILEDTRYLATER results.
+	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
 
 	// MsgSessionInfo fields.
 	State       string `json:"state,omitempty"`

@@ -251,7 +251,7 @@ func TestServerErrors(t *testing.T) {
 func TestMalformedRequestType(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	resp, err := c.roundTrip(context.Background(), Request{Type: "dance"})
+	resp, err := c.roundTrip(context.Background(), Request{Type: "dance"}, false)
 	if err == nil {
 		t.Errorf("unknown request type accepted: %+v", resp)
 	}

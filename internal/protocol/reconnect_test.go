@@ -1,0 +1,231 @@
+package protocol
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"qosneg/internal/testbed"
+)
+
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond, Jitter: 0.2}
+}
+
+// TestClientRedialsAfterServerRestart: a daemon restart breaks the client's
+// connection; the next idempotent RPC redials transparently once the daemon
+// is back, while RPCs issued during the outage fail after the retry budget.
+func TestClientRedialsAfterServerRestart(t *testing.T) {
+	bed := testbed.MustNew(testbed.Spec{})
+	if _, err := bed.AddNewsArticle("news-1", "Election night", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(bed.Manager, bed.Registry)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(l) }()
+
+	c, err := DialRetry(context.Background(), addr, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the daemon. Idempotent RPCs retry but find nobody listening.
+	l.Close()
+	srv.Close()
+	<-done
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("Stats succeeded with the daemon down")
+	}
+
+	// Restart on the same address: the client self-heals on the next RPC.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	srv2 := NewServer(bed.Manager, bed.Registry)
+	done2 := make(chan struct{})
+	go func() { defer close(done2); srv2.Serve(l2) }()
+	defer func() {
+		l2.Close()
+		srv2.Close()
+		<-done2
+	}()
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatalf("Stats after daemon restart: %v", err)
+	}
+	if st.Requests != 0 {
+		t.Errorf("unexpected stats after restart: %+v", st)
+	}
+	if c.Redials() < 1 {
+		t.Errorf("Redials() = %d; want at least one reconnect", c.Redials())
+	}
+
+	// Documents survive too — the redialed connection is fully usable.
+	docs, err := c.ListDocuments("")
+	if err != nil || len(docs) != 1 {
+		t.Errorf("ListDocuments after restart: %d docs, %v", len(docs), err)
+	}
+}
+
+// TestNonIdempotentNotRetried: a state-changing RPC must not be blindly
+// retried across a broken connection (the daemon may have committed), but a
+// connection already known broken earns one fresh dial.
+func TestNonIdempotentNotRetried(t *testing.T) {
+	bed := testbed.MustNew(testbed.Spec{})
+	if _, err := bed.AddNewsArticle("news-1", "Election night", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(bed.Manager, bed.Registry)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	done := make(chan struct{})
+	go func() { defer close(done); srv.Serve(l) }()
+
+	c, err := DialRetry(context.Background(), addr, fastRetry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bounce the daemon so the client's connection is dead but the address
+	// is immediately served again.
+	l.Close()
+	srv.Close()
+	<-done
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	srv2 := NewServer(bed.Manager, bed.Registry)
+	done2 := make(chan struct{})
+	go func() { defer close(done2); srv2.Serve(l2) }()
+	defer func() {
+		l2.Close()
+		srv2.Close()
+		<-done2
+	}()
+
+	// The first Negotiate rides the dead connection, discovers the break
+	// mid-exchange, and must NOT retry: the outcome is unknown.
+	if _, err := c.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute)); err == nil {
+		t.Fatal("Negotiate silently retried across a broken connection")
+	}
+	if st := bed.Manager.Stats(); st.Requests != 0 {
+		t.Fatalf("broken-connection Negotiate reached the daemon %d times", st.Requests)
+	}
+
+	// Now the connection is known broken: the next Negotiate gets a fresh
+	// dial up front and succeeds exactly once.
+	res, err := c.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatalf("Negotiate after known break: %v", err)
+	}
+	if !res.Status.Reserved() {
+		t.Fatalf("status = %v (%s)", res.Status, res.Reason)
+	}
+	if st := bed.Manager.Stats(); st.Requests != 1 {
+		t.Errorf("daemon saw %d negotiation requests; want exactly 1", st.Requests)
+	}
+	if err := c.Reject(res.Session); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompletedCallUnderCancelDoesNotPoisonDeadline races tight context
+// timeouts against RPCs on a non-redialable client. When an RPC completes
+// even though its context fired, the poisoned connection deadline must be
+// cleared — otherwise every later call on the connection times out
+// immediately (the bug this regression-tests).
+func TestCompletedCallUnderCancelDoesNotPoisonDeadline(t *testing.T) {
+	h := newHarness(t)
+	dial := func() *Client {
+		conn, err := net.Dial("tcp", h.addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewClient(conn)
+	}
+	c := dial()
+	defer func() { c.Close() }()
+
+	completed := 0
+	for i := 0; i < 400 && completed < 25; i++ {
+		// Sweep the timeout through the RPC's latency range so some calls
+		// complete exactly as the cancellation fires.
+		timeout := time.Duration(20+i%80*10) * time.Microsecond
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		_, err := c.StatsContext(ctx)
+		cancel()
+		if err != nil {
+			// Canceled mid-exchange; this client cannot redial, so take a
+			// fresh connection and keep probing.
+			c.Close()
+			c = dial()
+			continue
+		}
+		completed++
+		if _, err := c.StatsContext(context.Background()); err != nil {
+			t.Fatalf("connection poisoned after completed call %d: %v", i, err)
+		}
+	}
+	if completed == 0 {
+		t.Log("no call completed under cancellation pressure; race window not exercised this run")
+	}
+}
+
+// TestNewClientFailsFastWithoutAddress: NewClient has nothing to redial, so
+// a broken connection stays broken with a diagnostic.
+func TestNewClientFailsFastWithoutAddress(t *testing.T) {
+	h := newHarness(t)
+	conn, err := net.Dial("tcp", h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	defer c.Close()
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("Stats succeeded on a closed connection")
+	}
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("broken NewClient connection healed itself")
+	}
+	if c.Redials() != 0 {
+		t.Errorf("Redials() = %d on an address-less client", c.Redials())
+	}
+}
+
+// TestClosedClientRejectsRPCs: Close is terminal even for self-healing
+// clients.
+func TestClosedClientRejectsRPCs(t *testing.T) {
+	h := newHarness(t)
+	c, err := Dial(h.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("Stats succeeded on a closed client")
+	}
+}

@@ -179,10 +179,11 @@ func (s *Server) negotiate(req Request) Response {
 		return Response{Type: MsgError, Error: err.Error()}
 	}
 	resp := Response{
-		Type:   MsgResult,
-		Status: res.Status.String(),
-		Offer:  res.Offer,
-		Reason: res.Reason,
+		Type:         MsgResult,
+		Status:       res.Status.String(),
+		Offer:        res.Offer,
+		Reason:       res.Reason,
+		RetryAfterMs: res.RetryAfter.Milliseconds(),
 	}
 	for _, v := range res.Violations {
 		resp.Violations = append(resp.Violations, v.String())
@@ -244,10 +245,11 @@ func (s *Server) renegotiate(req Request) Response {
 		return Response{Type: MsgError, Error: err.Error()}
 	}
 	resp := Response{
-		Type:   MsgResult,
-		Status: res.Status.String(),
-		Offer:  res.Offer,
-		Reason: res.Reason,
+		Type:         MsgResult,
+		Status:       res.Status.String(),
+		Offer:        res.Offer,
+		Reason:       res.Reason,
+		RetryAfterMs: res.RetryAfter.Milliseconds(),
 	}
 	for _, v := range res.Violations {
 		resp.Violations = append(resp.Violations, v.String())

@@ -13,6 +13,7 @@ import (
 	"qosneg/internal/cmfs"
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
+	"qosneg/internal/faults"
 	"qosneg/internal/media"
 	"qosneg/internal/network"
 	"qosneg/internal/qos"
@@ -29,6 +30,9 @@ type Bed struct {
 	Servers  map[media.ServerID]*cmfs.Server
 	Clients  map[client.MachineID]client.Machine
 	Pricing  cost.Pricing
+	// Faults is the injector the bed was assembled with (Spec.Faults),
+	// nil otherwise.
+	Faults *faults.Injector
 }
 
 // Spec parameterizes New.
@@ -48,6 +52,11 @@ type Spec struct {
 	Options *core.Options
 	// Pricing overrides the default cost tables.
 	Pricing *cost.Pricing
+	// Faults, when non-nil, wraps every CMFS server and the transport
+	// system with the fault injector before they are registered with the
+	// manager, so crashes and injected failures can be driven at runtime.
+	// Bed.Servers still holds the raw servers.
+	Faults *faults.Injector
 }
 
 // New assembles a star-topology prototype: clients client-1..N and servers
@@ -96,14 +105,23 @@ func New(spec Spec) (*Bed, error) {
 		Pricing:  pricing,
 	}
 	bed.Transit = transport.New(net, opts.PathAlternates)
-	bed.Manager = core.NewManager(bed.Registry, bed.Transit, bed.Pricing, opts)
+	bed.Faults = spec.Faults
+	var ts core.Transport = bed.Transit
+	if spec.Faults != nil {
+		ts = spec.Faults.WrapTransport(ts)
+	}
+	bed.Manager = core.NewManager(bed.Registry, ts, bed.Pricing, opts)
 	for _, node := range serverNodes {
 		srv, err := cmfs.NewServer(media.ServerID(node), cfg)
 		if err != nil {
 			return nil, err
 		}
 		bed.Servers[srv.ID()] = srv
-		bed.Manager.AddServer(srv, node)
+		var ms core.MediaServer = srv
+		if spec.Faults != nil {
+			ms = spec.Faults.WrapServer(srv, node)
+		}
+		bed.Manager.AddServer(ms, node)
 	}
 	for _, node := range clientNodes {
 		c := client.Workstation(client.MachineID(node), node)

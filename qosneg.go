@@ -56,6 +56,7 @@ import (
 	"qosneg/internal/cmfs"
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
+	"qosneg/internal/faults"
 	"qosneg/internal/media"
 	"qosneg/internal/network"
 	"qosneg/internal/profile"
@@ -77,6 +78,8 @@ type config struct {
 	optsSet     bool
 	concurrency int
 	topK        int
+	health      *core.HealthPolicy
+	retry       protocol.RetryPolicy
 }
 
 // Option configures New; the With* constructors build them.
@@ -132,6 +135,29 @@ func WithTopK(k int) Option {
 	return func(c *config) { c.topK = k }
 }
 
+// WithHealthPolicy enables the QoS manager's per-server circuit breaker:
+// consecutive commit failures quarantine a server for a cooldown, and
+// FAILEDTRYLATER results carry the policy's RetryAfter hint. It applies on
+// top of WithOptions.
+func WithHealthPolicy(p core.HealthPolicy) Option {
+	return func(c *config) { c.health = &p }
+}
+
+// WithRetryPolicy sets the redial/backoff policy used by clients the
+// system dials (see System.Dial); the zero value selects
+// protocol.DefaultRetryPolicy.
+func WithRetryPolicy(p protocol.RetryPolicy) Option {
+	return func(c *config) { c.retry = p }
+}
+
+// WithFaultInjector wraps every CMFS server and the transport system with
+// the given fault injector before they are registered with the manager, so
+// crashes, probabilistic failures and latency can be driven at runtime
+// (System.Faults keeps the handle).
+func WithFaultInjector(inj *faults.Injector) Option {
+	return func(c *config) { c.spec.Faults = inj }
+}
+
 // System is an assembled news-on-demand prototype: every component wired
 // together, plus a profile store pre-loaded with the factory profiles.
 type System struct {
@@ -143,6 +169,11 @@ type System struct {
 	Clients  map[client.MachineID]client.Machine
 	Profiles *profile.Store
 	Pricing  cost.Pricing
+	// Faults is the injector installed by WithFaultInjector, nil
+	// otherwise.
+	Faults *faults.Injector
+	// Retry is the redial/backoff policy System.Dial hands to clients.
+	Retry protocol.RetryPolicy
 }
 
 // New assembles a system from the options; with none it builds the default
@@ -161,6 +192,9 @@ func New(options ...Option) (*System, error) {
 	}
 	if cfg.topK != 0 {
 		opts.TopK = cfg.topK
+	}
+	if cfg.health != nil {
+		opts.Health = *cfg.health
 	}
 	cfg.spec.Options = &opts
 	bed, err := testbed.New(cfg.spec)
@@ -182,6 +216,8 @@ func New(options ...Option) (*System, error) {
 		Clients:  bed.Clients,
 		Profiles: store,
 		Pricing:  bed.Pricing,
+		Faults:   bed.Faults,
+		Retry:    cfg.retry,
 	}, nil
 }
 
@@ -276,4 +312,10 @@ func (s *System) Player(eng *sim.Engine) *session.Player {
 func (s *System) Serve(l net.Listener) (*protocol.Server, error) {
 	srv := protocol.NewServer(s.Manager, s.Registry)
 	return srv, srv.Serve(l)
+}
+
+// Dial connects a self-healing protocol client to a negotiation daemon
+// using the system's retry policy (WithRetryPolicy).
+func (s *System) Dial(ctx context.Context, addr string) (*protocol.Client, error) {
+	return protocol.DialRetry(ctx, addr, s.Retry)
 }

@@ -1,0 +1,64 @@
+package qosneg
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"qosneg/internal/core"
+	"qosneg/internal/faults"
+	"qosneg/internal/protocol"
+)
+
+// TestSystemFaultInjectionFailover wires the fault injector through the
+// facade: with one replica crashed, negotiation succeeds on the survivor
+// and the crashed server is quarantined.
+func TestSystemFaultInjectionFailover(t *testing.T) {
+	inj := faults.New(11)
+	sys, err := New(
+		WithClients(1),
+		WithServers(2),
+		WithFaultInjector(inj),
+		WithHealthPolicy(core.HealthPolicy{FailureThreshold: 2, Cooldown: time.Minute}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Faults != inj {
+		t.Fatal("System.Faults not populated")
+	}
+	doc, err := sys.AddNewsArticle("news-1", "Election night", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Crash("server-1") {
+		t.Fatal("server-1 not wrapped by the injector")
+	}
+	res, err := sys.Negotiate(context.Background(), "client-1", doc.ID, "tv-quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Status.Reserved() {
+		t.Fatalf("status = %v (%s); want failover onto server-2", res.Status, res.Reason)
+	}
+	if _, ok := sys.Manager.Quarantined("server-1"); !ok {
+		t.Error("crashed server not quarantined")
+	}
+	sys.Manager.Reject(res.Session.ID)
+}
+
+// TestSystemRetryPolicyDial: WithRetryPolicy flows into System.Dial's
+// self-healing clients.
+func TestSystemRetryPolicyDial(t *testing.T) {
+	policy := protocol.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Jitter: 0.1}
+	sys, err := New(WithClients(1), WithRetryPolicy(policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Retry != policy {
+		t.Fatalf("System.Retry = %+v", sys.Retry)
+	}
+	if _, err := sys.Dial(context.Background(), "127.0.0.1:1"); err == nil {
+		t.Fatal("Dial to a dead address succeeded")
+	}
+}

@@ -4,6 +4,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 echo "== go vet"
 go vet ./...
 
@@ -15,5 +23,10 @@ go test -race ./...
 
 echo "== benchmarks (smoke, 1 iteration)"
 go test -run '^$' -bench . -benchtime=1x ./...
+
+echo "== fuzz (smoke, 5s per target)"
+go test -run '^$' -fuzz '^FuzzCurveEval$' -fuzztime 5s ./internal/profile
+go test -run '^$' -fuzz '^FuzzServerInput$' -fuzztime 5s ./internal/protocol
+go test -run '^$' -fuzz '^FuzzTableClassify$' -fuzztime 5s ./internal/cost
 
 echo "check: OK"

@@ -26,8 +26,10 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Repeated experiment benchmarks; writes BENCH_<date>.json. Use
+# `./scripts/bench.sh -smoke` for the 1-iteration CI smoke run.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	./scripts/bench.sh
 
 cover:
 	$(GO) test -cover ./...

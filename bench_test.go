@@ -27,6 +27,7 @@ import (
 	"qosneg/internal/qos"
 	"qosneg/internal/session"
 	"qosneg/internal/sim"
+	"qosneg/internal/telemetry"
 	"qosneg/internal/workload"
 )
 
@@ -131,6 +132,38 @@ func BenchmarkE5Cost(b *testing.B) {
 // (enumerate, classify, commit, rollback via Reject).
 func BenchmarkE6Negotiate(b *testing.B) {
 	sys, doc := benchSystem(b, 1, 2)
+	u := benchProfile()
+	mach, _ := sys.Client("client-1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Session != nil {
+			if err := sys.Manager.Reject(res.Session.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE6NegotiateTelemetry is BenchmarkE6Negotiate with the telemetry
+// subsystem live — a metrics registry recording outcome counters and
+// per-step latency histograms, plus a ring tracer capturing spans. Its
+// ns/op against the plain E6 run is the observability overhead of an
+// instrumented daemon, which must stay within a few percent.
+func BenchmarkE6NegotiateTelemetry(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	sys, err := New(WithClients(1), WithServers(2),
+		WithMetrics(reg), WithTracer(telemetry.NewRing(256)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := sys.AddNewsArticle("news-1", "Bench article", 2*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
 	u := benchProfile()
 	mach, _ := sys.Client("client-1")
 	b.ResetTimer()

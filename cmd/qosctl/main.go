@@ -1,6 +1,6 @@
 // Command qosctl talks to a qosnegd daemon: it lists the catalog, runs a
 // negotiation with a factory profile, confirms or rejects the reserved
-// offer, and inspects sessions.
+// offer, inspects sessions, and renders the daemon's telemetry.
 //
 // Usage:
 //
@@ -18,7 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"time"
 
@@ -28,168 +28,275 @@ import (
 	"qosneg/internal/network"
 	"qosneg/internal/profile"
 	"qosneg/internal/protocol"
+	"qosneg/internal/telemetry"
 )
 
-func main() {
-	addr := flag.String("addr", "127.0.0.1:7000", "daemon address")
-	doc := flag.String("doc", "", "document id for negotiate")
-	profileName := flag.String("profile", "tv-quality", "factory profile: tv-quality, premium or economy")
-	clientNode := flag.String("client", "client-1", "client attachment point on the daemon's network")
-	confirm := flag.Bool("confirm", false, "confirm the offer after a successful negotiation")
-	id := flag.Uint64("id", 0, "session id for the session command")
-	flag.Parse()
+const usage = "usage: qosctl [flags] list|negotiate|renegotiate|session|sessions|invoice|servers|watch|stats"
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: qosctl [flags] list|negotiate|renegotiate|session|sessions|invoice|servers|watch|stats")
-		os.Exit(2)
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so tests can drive the whole
+// CLI in-process against a loopback daemon.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qosctl", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7000", "daemon address")
+	doc := fs.String("doc", "", "document id for negotiate")
+	profileName := fs.String("profile", "tv-quality", "factory profile: tv-quality, premium or economy")
+	clientNode := fs.String("client", "client-1", "client attachment point on the daemon's network")
+	confirm := fs.Bool("confirm", false, "confirm the offer after a successful negotiation")
+	id := fs.Uint64("id", 0, "session id for the session command")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, usage)
+		return 2
 	}
 	c, err := protocol.Dial(*addr)
 	if err != nil {
-		log.Fatalf("qosctl: %v", err)
+		fmt.Fprintf(stderr, "qosctl: %v\n", err)
+		return 1
 	}
 	defer c.Close()
 
-	switch flag.Arg(0) {
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "qosctl: %v\n", err)
+		return 1
+	}
+
+	switch fs.Arg(0) {
 	case "list":
 		docs, err := c.ListDocuments("")
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
 		for _, d := range docs {
-			fmt.Printf("%-12s %-40s %d components\n", d.ID, d.Title, d.Components)
+			fmt.Fprintf(stdout, "%-12s %-40s %d components\n", d.ID, d.Title, d.Components)
 		}
 	case "negotiate":
 		if *doc == "" {
-			log.Fatal("qosctl: negotiate needs -doc")
+			return fail(fmt.Errorf("negotiate needs -doc"))
 		}
 		u, err := factoryProfile(*profileName)
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
 		mach := client.Workstation(client.MachineID(*clientNode), network.NodeID(*clientNode))
 		res, err := c.Negotiate(mach, media.DocumentID(*doc), u)
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
-		fmt.Printf("status: %s\n", res.Status)
+		fmt.Fprintf(stdout, "status: %s\n", res.Status)
 		if res.Reason != "" {
-			fmt.Printf("reason: %s\n", res.Reason)
+			fmt.Fprintf(stdout, "reason: %s\n", res.Reason)
 		}
 		if res.RetryAfter > 0 {
-			fmt.Printf("retry after: %s\n", res.RetryAfter)
+			fmt.Fprintf(stdout, "retry after: %s\n", res.RetryAfter)
 		}
 		for _, v := range res.Violations {
-			fmt.Printf("violation: %s\n", v)
+			fmt.Fprintf(stdout, "violation: %s\n", v)
 		}
 		if res.Offer != nil {
-			printOffer(res.Offer)
+			printOffer(stdout, res.Offer)
 		}
 		if res.Status.Reserved() {
-			fmt.Printf("session %d reserved; cost %s; confirm within %s\n", res.Session, res.Cost, res.ChoicePeriod)
+			fmt.Fprintf(stdout, "session %d reserved; cost %s; confirm within %s\n", res.Session, res.Cost, res.ChoicePeriod)
 			if *confirm {
 				if err := c.Confirm(res.Session); err != nil {
-					log.Fatalf("qosctl: confirm: %v", err)
+					return fail(fmt.Errorf("confirm: %w", err))
 				}
-				fmt.Println("confirmed: delivery started")
+				fmt.Fprintln(stdout, "confirmed: delivery started")
 			} else {
 				if err := c.Reject(res.Session); err != nil {
-					log.Fatalf("qosctl: reject: %v", err)
+					return fail(fmt.Errorf("reject: %w", err))
 				}
-				fmt.Println("rejected: resources released (pass -confirm to accept)")
+				fmt.Fprintln(stdout, "rejected: resources released (pass -confirm to accept)")
 			}
 		}
 	case "renegotiate":
 		if *id == 0 {
-			log.Fatal("qosctl: renegotiate needs -id")
+			return fail(fmt.Errorf("renegotiate needs -id"))
 		}
 		u, err := factoryProfile(*profileName)
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
 		res, err := c.Renegotiate(core.SessionID(*id), u)
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
-		fmt.Printf("status: %s\n", res.Status)
+		fmt.Fprintf(stdout, "status: %s\n", res.Status)
 		if res.RetryAfter > 0 {
-			fmt.Printf("retry after: %s\n", res.RetryAfter)
+			fmt.Fprintf(stdout, "retry after: %s\n", res.RetryAfter)
 		}
 		if res.Offer != nil {
-			printOffer(res.Offer)
+			printOffer(stdout, res.Offer)
 		}
 		if res.Status.Reserved() {
-			fmt.Printf("session %d re-reserved; cost %s; confirm within %s\n", res.Session, res.Cost, res.ChoicePeriod)
+			fmt.Fprintf(stdout, "session %d re-reserved; cost %s; confirm within %s\n", res.Session, res.Cost, res.ChoicePeriod)
 			if *confirm {
 				if err := c.Confirm(res.Session); err != nil {
-					log.Fatalf("qosctl: confirm: %v", err)
+					return fail(fmt.Errorf("confirm: %w", err))
 				}
-				fmt.Println("confirmed: delivery started")
+				fmt.Fprintln(stdout, "confirmed: delivery started")
 			}
 		}
 	case "session":
 		info, err := c.Session(core.SessionID(*id))
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
-		fmt.Printf("session %d: %s, position %s, %d transition(s), cost %s\n",
+		fmt.Fprintf(stdout, "session %d: %s, position %s, %d transition(s), cost %s\n",
 			info.Session, info.State, info.Position, info.Transitions, info.Cost)
 	case "watch":
 		if *id == 0 {
-			log.Fatal("qosctl: watch needs -id")
+			return fail(fmt.Errorf("watch needs -id"))
 		}
 		err := c.Watch(core.SessionID(*id), 250*time.Millisecond, func(i protocol.SessionInfo) {
-			fmt.Printf("session %d: %-9s position %-8s transitions %d\n",
+			fmt.Fprintf(stdout, "session %d: %-9s position %-8s transitions %d\n",
 				i.Session, i.State, i.Position, i.Transitions)
 		})
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
 	case "sessions":
 		rows, err := c.ListSessions()
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
 		for _, r := range rows {
-			fmt.Printf("%4d %-12s %-10s pos %-10s transitions %d cost %s\n",
+			fmt.Fprintf(stdout, "%4d %-12s %-10s pos %-10s transitions %d cost %s\n",
 				r.Session, r.Document, r.State, time.Duration(r.PositionMs)*time.Millisecond, r.Transitions, r.Cost)
 		}
 	case "invoice":
 		if *id == 0 {
-			log.Fatal("qosctl: invoice needs -id")
+			return fail(fmt.Errorf("invoice needs -id"))
 		}
 		inv, err := c.Invoice(core.SessionID(*id))
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
-		fmt.Print(inv.String())
+		fmt.Fprint(stdout, inv.String())
 	case "servers":
 		loads, err := c.ServerLoads()
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
-		for _, l := range loads {
-			health := "healthy"
-			if l.Quarantined {
-				health = fmt.Sprintf("QUARANTINED %s", time.Duration(l.QuarantineMs)*time.Millisecond)
-			} else if l.ConsecutiveFailures > 0 {
-				health = fmt.Sprintf("%d consecutive failure(s)", l.ConsecutiveFailures)
-			}
-			fmt.Printf("%-12s %2d streams  utilization %.2f  %-24s down %d reserve-fail %d connect-fail %d\n",
-				l.ID, l.ActiveStreams, l.Utilization, health, l.DownFailures, l.ReserveFailures, l.ConnectFailures)
-		}
+		printServers(stdout, loads)
 	case "stats":
 		st, err := c.Stats()
 		if err != nil {
-			log.Fatalf("qosctl: %v", err)
+			return fail(err)
 		}
-		fmt.Printf("requests %d: SUCCEEDED %d, FAILEDWITHOFFER %d, FAILEDTRYLATER %d, "+
-			"FAILEDWITHOUTOFFER %d, FAILEDWITHLOCALOFFER %d; adaptations %d (failed %d)\n",
-			st.Requests, st.Succeeded, st.FailedWithOffer, st.FailedTryLater,
-			st.FailedWithoutOffer, st.FailedWithLocalOffer, st.Adaptations, st.AdaptationFailures)
+		snap, err := c.Metrics()
+		if err != nil {
+			return fail(err)
+		}
+		loads, err := c.ServerLoads()
+		if err != nil {
+			return fail(err)
+		}
+		printStats(stdout, st, snap, loads)
 	default:
-		fmt.Fprintf(os.Stderr, "qosctl: unknown command %q\n", flag.Arg(0))
-		os.Exit(2)
+		fmt.Fprintf(stderr, "qosctl: unknown command %q\n", fs.Arg(0))
+		return 2
 	}
+	return 0
+}
+
+// printStats renders the daemon's counters, the wire-snapshot latency
+// quantiles, and the per-server breaker state in one report.
+func printStats(w io.Writer, st core.Stats, snap telemetry.Snapshot, loads []core.ServerLoad) {
+	fmt.Fprintf(w, "requests %d: SUCCEEDED %d, FAILEDWITHOFFER %d, FAILEDTRYLATER %d, "+
+		"FAILEDWITHOUTOFFER %d, FAILEDWITHLOCALOFFER %d; adaptations %d (failed %d)\n",
+		st.Requests, st.Succeeded, st.FailedWithOffer, st.FailedTryLater,
+		st.FailedWithoutOffer, st.FailedWithLocalOffer, st.Adaptations, st.AdaptationFailures)
+
+	if len(snap.Counters)+len(snap.Histograms) == 0 {
+		fmt.Fprintln(w, "telemetry: daemon not instrumented (no metrics snapshot)")
+		return
+	}
+	if h, ok := snap.Find(core.MetricNegotiationTime, ""); ok && h.Count > 0 {
+		fmt.Fprintf(w, "negotiation latency: %s (n=%d)\n", quantiles(h), h.Count)
+	}
+	steps := []telemetry.Step{
+		telemetry.StepLocalNegotiation,
+		telemetry.StepCompatibilityCheck,
+		telemetry.StepClassificationParams,
+		telemetry.StepClassification,
+		telemetry.StepCommitment,
+		telemetry.StepConfirmation,
+	}
+	header := false
+	for _, s := range steps {
+		h, ok := snap.Find(core.MetricStepTime, s.String())
+		if !ok || h.Count == 0 {
+			continue
+		}
+		if !header {
+			fmt.Fprintln(w, "step latencies:")
+			header = true
+		}
+		fmt.Fprintf(w, "  %-22s %s (n=%d)\n", s, quantiles(h), h.Count)
+	}
+	if v := snap.CounterValue(core.MetricCommitFailures, ""); v > 0 {
+		fmt.Fprintf(w, "commit failures: %d (skipped dead servers %d, quarantine trips %d)\n",
+			v, snap.CounterValue(core.MetricCommitSkips, ""),
+			snap.CounterValue(core.MetricQuarantines, ""))
+	}
+	if v := snap.CounterValue(core.MetricRevenue, ""); v > 0 {
+		fmt.Fprintf(w, "revenue: $%.3f\n", float64(v)/1000)
+	}
+	if len(loads) > 0 {
+		fmt.Fprintln(w, "servers:")
+		printServers(indent(w), loads)
+	}
+}
+
+func quantiles(h telemetry.HistogramPoint) string {
+	return fmt.Sprintf("p50 %s  p90 %s  p99 %s",
+		round(h.Quantile(0.50)), round(h.Quantile(0.90)), round(h.Quantile(0.99)))
+}
+
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}
+
+func printServers(w io.Writer, loads []core.ServerLoad) {
+	for _, l := range loads {
+		health := "healthy"
+		if l.Quarantined {
+			health = fmt.Sprintf("QUARANTINED %s", time.Duration(l.QuarantineMs)*time.Millisecond)
+		} else if l.ConsecutiveFailures > 0 {
+			health = fmt.Sprintf("%d consecutive failure(s)", l.ConsecutiveFailures)
+		}
+		fmt.Fprintf(w, "%-12s %2d streams  utilization %.2f  %-24s down %d reserve-fail %d connect-fail %d\n",
+			l.ID, l.ActiveStreams, l.Utilization, health, l.DownFailures, l.ReserveFailures, l.ConnectFailures)
+	}
+}
+
+// indent returns a writer that prefixes every write with two spaces; the
+// server table is reused verbatim by both "servers" and "stats".
+func indent(w io.Writer) io.Writer { return indentWriter{w} }
+
+type indentWriter struct{ w io.Writer }
+
+func (iw indentWriter) Write(p []byte) (int, error) {
+	if _, err := iw.w.Write(append([]byte("  "), p...)); err != nil {
+		return 0, err
+	}
+	return len(p), nil
 }
 
 func factoryProfile(name string) (profile.UserProfile, error) {
@@ -201,17 +308,17 @@ func factoryProfile(name string) (profile.UserProfile, error) {
 	return profile.UserProfile{}, fmt.Errorf("unknown factory profile %q", name)
 }
 
-func printOffer(o *profile.MMProfile) {
+func printOffer(w io.Writer, o *profile.MMProfile) {
 	if o.Video != nil {
-		fmt.Printf("offer video: %s\n", o.Video)
+		fmt.Fprintf(w, "offer video: %s\n", o.Video)
 	}
 	if o.Audio != nil {
-		fmt.Printf("offer audio: %s\n", o.Audio)
+		fmt.Fprintf(w, "offer audio: %s\n", o.Audio)
 	}
 	if o.Image != nil {
-		fmt.Printf("offer image: %s\n", o.Image)
+		fmt.Fprintf(w, "offer image: %s\n", o.Image)
 	}
 	if o.Text != nil {
-		fmt.Printf("offer text:  %s\n", o.Text)
+		fmt.Fprintf(w, "offer text:  %s\n", o.Text)
 	}
 }

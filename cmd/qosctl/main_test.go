@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"qosneg"
+	"qosneg/internal/protocol"
+	"qosneg/internal/telemetry"
+)
+
+// startDaemon serves an in-process qosnegd-shaped system on loopback and
+// returns its address. With instrument, the whole stack carries a shared
+// telemetry registry, as the real daemon does.
+func startDaemon(t *testing.T, instrument bool) string {
+	t.Helper()
+	options := []qosneg.Option{qosneg.WithClients(1), qosneg.WithServers(2)}
+	var reg *telemetry.Registry
+	if instrument {
+		reg = telemetry.NewRegistry()
+		options = append(options,
+			qosneg.WithMetrics(reg),
+			qosneg.WithTracer(telemetry.NewRing(64)))
+	}
+	sys, err := qosneg.New(options...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AddNewsArticle("news-1", "Election night", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := protocol.NewServer(sys.Manager, sys.Registry)
+	srv.Instrument(reg)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	t.Cleanup(func() {
+		l.Close()
+		srv.Close()
+		<-done
+	})
+	return l.Addr().String()
+}
+
+// ctl runs one qosctl invocation against the daemon and returns its output.
+func ctl(t *testing.T, addr string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(append([]string{"-addr", addr}, args...), &out, &errOut)
+	return out.String(), errOut.String(), code
+}
+
+func TestQosctlCatalogAndNegotiation(t *testing.T) {
+	addr := startDaemon(t, true)
+
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+		want []string
+	}{
+		{
+			name: "list",
+			args: []string{"list"},
+			want: []string{"news-1", "Election night", "components"},
+		},
+		{
+			name: "negotiate-reject",
+			args: []string{"-doc", "news-1", "negotiate"},
+			want: []string{"status: SUCCEEDED", "offer video:", "reserved; cost",
+				"rejected: resources released"},
+		},
+		{
+			name: "negotiate-confirm",
+			args: []string{"-doc", "news-1", "-confirm", "negotiate"},
+			want: []string{"status: SUCCEEDED", "confirmed: delivery started"},
+		},
+		{
+			name: "sessions",
+			args: []string{"sessions"},
+			want: []string{"news-1"},
+		},
+		{
+			name: "session",
+			args: []string{"-id", "2", "session"},
+			want: []string{"session 2:"},
+		},
+		{
+			name: "invoice",
+			args: []string{"-id", "2", "invoice"},
+			want: []string{"TOTAL"},
+		},
+		{
+			name: "servers",
+			args: []string{"servers"},
+			want: []string{"server-1", "healthy", "utilization"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := ctl(t, addr, tc.args...)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, stderr)
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(stdout, w) {
+					t.Errorf("output missing %q:\n%s", w, stdout)
+				}
+			}
+		})
+	}
+}
+
+func TestQosctlStats(t *testing.T) {
+	addr := startDaemon(t, true)
+	if stdout, stderr, code := ctl(t, addr, "-doc", "news-1", "negotiate"); code != 0 {
+		t.Fatalf("negotiate: exit %d\n%s%s", code, stdout, stderr)
+	}
+
+	stdout, stderr, code := ctl(t, addr, "stats")
+	if code != 0 {
+		t.Fatalf("stats: exit %d (stderr: %s)", code, stderr)
+	}
+	for _, w := range []string{
+		"requests 1: SUCCEEDED 1",
+		"negotiation latency: p50",
+		"step latencies:",
+		"local-negotiation",
+		"commitment",
+		"servers:",
+		"server-1",
+	} {
+		if !strings.Contains(stdout, w) {
+			t.Errorf("stats output missing %q:\n%s", w, stdout)
+		}
+	}
+}
+
+func TestQosctlStatsUninstrumented(t *testing.T) {
+	addr := startDaemon(t, false)
+	stdout, stderr, code := ctl(t, addr, "stats")
+	if code != 0 {
+		t.Fatalf("stats: exit %d (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "daemon not instrumented") {
+		t.Errorf("stats against an uninstrumented daemon should say so:\n%s", stdout)
+	}
+}
+
+func TestQosctlUsageErrors(t *testing.T) {
+	addr := startDaemon(t, false)
+	for _, tc := range []struct {
+		name string
+		args []string
+		code int
+		want string
+	}{
+		{name: "no-command", args: nil, code: 2, want: "usage:"},
+		{name: "unknown-command", args: []string{"frobnicate"}, code: 2, want: "unknown command"},
+		{name: "negotiate-without-doc", args: []string{"negotiate"}, code: 1, want: "negotiate needs -doc"},
+		{name: "bad-session", args: []string{"-id", "9999", "session"}, code: 1, want: "qosctl:"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := ctl(t, addr, tc.args...)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, tc.code, stdout, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}

@@ -7,13 +7,21 @@
 //
 //	qosnegd -addr :7000 -servers 3 -clients 4
 //	qosnegd -addr :7000 -catalog catalog.json
+//	qosnegd -addr :7000 -debug-addr 127.0.0.1:7070
+//
+// With -debug-addr the daemon also serves an observability surface over
+// HTTP: /metrics (Prometheus text format), /debug/vars (expvar),
+// /debug/trace (the most recent negotiation spans) and /debug/pprof/.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -26,6 +34,7 @@ import (
 	"qosneg/internal/faults"
 	"qosneg/internal/media"
 	"qosneg/internal/protocol"
+	"qosneg/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +44,8 @@ func main() {
 	catalog := flag.String("catalog", "", "JSON document catalog to load (default: synthesize articles)")
 	tariff := flag.String("pricing", "", "JSON tariff to load (default: built-in cost tables)")
 	verbose := flag.Bool("verbose", false, "log every negotiation decision (the QoS manager's trace)")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /debug/vars, /debug/trace and /debug/pprof (empty disables)")
+	traceDepth := flag.Int("trace-depth", 256, "negotiation spans retained for /debug/trace")
 	articles := flag.Int("articles", 5, "synthetic articles to create when no catalog is given")
 	healthThreshold := flag.Int("health-threshold", 3, "consecutive commit failures that quarantine a server (0 disables the breaker)")
 	healthCooldown := flag.Duration("health-cooldown", core.DefaultCooldown, "quarantine period after the breaker trips")
@@ -57,10 +68,18 @@ func main() {
 			log.Printf("negotiate: %-14s %-24s %s", e.Step, e.Offer, e.Detail)
 		}
 	}
+	reg := telemetry.NewRegistry()
+	ring := telemetry.NewRing(*traceDepth)
+	var tracer telemetry.Tracer = ring
+	if *verbose {
+		tracer = telemetry.Multi(ring, telemetry.LogTracer(log.Printf))
+	}
 	options := []qosneg.Option{
 		qosneg.WithClients(*clients),
 		qosneg.WithServers(*servers),
 		qosneg.WithOptions(opts),
+		qosneg.WithMetrics(reg),
+		qosneg.WithTracer(tracer),
 	}
 	var inj *faults.Injector
 	if *faultSeed != 0 || *faultCrash != "" || *faultReserve > 0 || *faultConnect > 0 || *faultLatency > 0 {
@@ -127,7 +146,36 @@ func main() {
 		log.Fatalf("qosnegd: %v", err)
 	}
 	srv := protocol.NewServer(sys.Manager, sys.Registry)
+	srv.Instrument(reg)
 	playout := protocol.AttachPlayout(srv, sys.Manager, 100*time.Millisecond)
+
+	if *debugAddr != "" {
+		dl, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("qosnegd: debug listener: %v", err)
+		}
+		reg.PublishExpvar("qosneg")
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			for _, e := range ring.Events() {
+				fmt.Fprintln(w, e.String())
+			}
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(dl, mux); err != nil && !strings.Contains(err.Error(), "use of closed network connection") {
+				log.Printf("qosnegd: debug server: %v", err)
+			}
+		}()
+		log.Printf("debug surface on http://%s (/metrics, /debug/vars, /debug/trace, /debug/pprof/)", dl.Addr())
+	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain handlers
 	// and playout goroutines, report final stats.

@@ -31,6 +31,7 @@ import (
 
 	"qosneg/internal/media"
 	"qosneg/internal/qos"
+	"qosneg/internal/telemetry"
 )
 
 // ErrAdmission is returned when the disk-round admission test fails.
@@ -131,6 +132,34 @@ type Server struct {
 	next        ReservationID
 	streams     map[ReservationID]Reservation
 	degradation float64 // fraction of DiskRate lost, in [0, 1)
+
+	// Telemetry series, installed by Instrument; nil when uninstrumented
+	// (recording through them is then a no-op).
+	admitted *telemetry.Counter
+	rejected *telemetry.Counter
+	active   *telemetry.Gauge
+}
+
+// Instrument wires the server's admission decisions into a telemetry
+// registry: per-server admit/reject counters and an active-streams gauge,
+// all labeled with the server id. A nil registry is a no-op; instrumenting
+// several servers against one registry shares the metric families.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	admits := reg.CounterFamily("qosneg_cmfs_admits_total",
+		"Stream reservations admitted by the disk-round test.", "server")
+	rejects := reg.CounterFamily("qosneg_cmfs_rejects_total",
+		"Stream reservations rejected (admission failure or stream cap).", "server")
+	active := reg.GaugeFamily("qosneg_cmfs_active_streams",
+		"Currently reserved streams.", "server")
+	s.mu.Lock()
+	s.admitted = admits.With(string(s.id))
+	s.rejected = rejects.With(string(s.id))
+	s.active = active.With(string(s.id))
+	s.active.Set(int64(len(s.streams)))
+	s.mu.Unlock()
 }
 
 // NewServer builds a server with the given identity and disk model.
@@ -218,11 +247,14 @@ func (s *Server) Reserve(n qos.NetworkQoS) (Reservation, error) {
 	defer s.mu.Unlock()
 	charged := s.chargedRate(n)
 	if err := s.admitLocked(charged); err != nil {
+		s.rejected.Inc()
 		return Reservation{}, err
 	}
 	s.next++
 	r := Reservation{ID: s.next, Rate: charged, Peak: n.MaxBitRate}
 	s.streams[r.ID] = r
+	s.admitted.Inc()
+	s.active.Set(int64(len(s.streams)))
 	return r, nil
 }
 
@@ -234,6 +266,7 @@ func (s *Server) Release(id ReservationID) error {
 		return fmt.Errorf("%w: %d on server %s", ErrUnknownReservation, id, s.id)
 	}
 	delete(s.streams, id)
+	s.active.Set(int64(len(s.streams)))
 	return nil
 }
 

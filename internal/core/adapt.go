@@ -8,6 +8,7 @@ import (
 	"qosneg/internal/media"
 	"qosneg/internal/network"
 	"qosneg/internal/offer"
+	"qosneg/internal/telemetry"
 )
 
 // Transition records one completed adaptation: the offer the session left,
@@ -78,6 +79,10 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 			s.transition++
 			pos := s.position
 			s.mu.Unlock()
+			m.met.adapt(true)
+			if m.opts.Tracer != nil {
+				m.span(telemetry.Event{Step: telemetry.StepAdaptation, Offer: r.Key(), Status: "ok", Detail: "from " + current.Key()})
+			}
 			m.statsMu.Lock()
 			m.stats.Adaptations++
 			m.statsMu.Unlock()
@@ -88,6 +93,10 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 	s.mu.Lock()
 	s.state = Aborted
 	s.mu.Unlock()
+	m.met.adapt(false)
+	if m.opts.Tracer != nil {
+		m.span(telemetry.Event{Step: telemetry.StepAdaptation, Offer: current.Key(), Status: "failed"})
+	}
 	m.statsMu.Lock()
 	m.stats.AdaptationFailures++
 	m.statsMu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"qosneg/internal/media"
+	"qosneg/internal/telemetry"
 )
 
 // ErrServerDown is the sentinel a media-server or transport implementation
@@ -152,6 +153,7 @@ func (m *Manager) healthFor(id media.ServerID) *serverHealth {
 // recordCommitFailure feeds one failed commit attempt into the outcome
 // counters and, for server-attributable causes, the circuit breaker.
 func (m *Manager) recordCommitFailure(f *commitFailure) {
+	m.met.commitFailure(f.cause)
 	m.statsMu.Lock()
 	switch f.cause {
 	case CauseServerDown:
@@ -197,13 +199,20 @@ func (m *Manager) recordCommitFailure(f *commitFailure) {
 	if tripped {
 		h.quarantines++
 	}
+	consecutive, until := h.consecutive, h.quarantinedUntil
 	m.healthMu.Unlock()
 
+	m.met.serverHealthGauges(f.server, consecutive, until)
 	if tripped {
+		m.met.quarantineTrip()
 		m.statsMu.Lock()
 		m.stats.Quarantines++
 		m.statsMu.Unlock()
-		m.trace("quarantine", "", fmt.Sprintf("%s for %s after %s", f.server, m.opts.Health.cooldown(), f.cause))
+		if m.tracing() {
+			detail := fmt.Sprintf("%s for %s after %s", f.server, m.opts.Health.cooldown(), f.cause)
+			m.trace("quarantine", "", detail)
+			m.span(telemetry.Event{Step: telemetry.StepQuarantine, Server: string(f.server), Status: f.cause.String(), Detail: detail})
+		}
 	}
 }
 
@@ -212,11 +221,15 @@ func (m *Manager) recordCommitFailure(f *commitFailure) {
 // quarantine are cleared.
 func (m *Manager) recordServerSuccess(id media.ServerID) {
 	m.healthMu.Lock()
-	if h, ok := m.health[id]; ok {
+	h, ok := m.health[id]
+	if ok {
 		h.consecutive = 0
 		h.quarantinedUntil = time.Time{}
 	}
 	m.healthMu.Unlock()
+	if ok {
+		m.met.serverHealthGauges(id, 0, time.Time{})
+	}
 }
 
 // Quarantined reports whether a server is currently quarantined by the

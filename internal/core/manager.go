@@ -17,6 +17,7 @@ import (
 	"qosneg/internal/profile"
 	"qosneg/internal/qos"
 	"qosneg/internal/registry"
+	"qosneg/internal/telemetry"
 	"qosneg/internal/transport"
 )
 
@@ -81,6 +82,18 @@ type Options struct {
 	// the consecutive-failure breaker off (hard server-down evidence
 	// still quarantines).
 	Health HealthPolicy
+	// Metrics, when non-nil, receives the manager's counters, gauges and
+	// latency histograms (outcomes by status, per-step and end-to-end
+	// negotiation latency, commit failures by cause, breaker state,
+	// adaptations, revenue). Nil (telemetry.Noop) disables recording at
+	// zero cost.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives typed span events for the six
+	// negotiation steps and the failure paths (skip-dead, quarantine,
+	// adaptation). It supersedes Trace, which survives for string-oriented
+	// consumers; both may be installed. Like Trace it runs on the
+	// negotiating goroutine and must be fast and non-blocking.
+	Tracer telemetry.Tracer
 }
 
 // DefaultTopK is how many classified offers a negotiation retains by
@@ -167,7 +180,11 @@ type Manager struct {
 	transport Transport
 	pricing   cost.Pricing
 	opts      Options
-	// now is the clock the circuit breaker uses; tests may override it.
+	// met caches the metric series when Options.Metrics is set; nil means
+	// metrics disabled (every recording helper nil-checks).
+	met *negMetrics
+	// now is the clock the circuit breaker and latency metrics use; tests
+	// may override it.
 	now func() time.Time
 
 	// sessMu guards the session table and id counter only; negotiations
@@ -230,6 +247,7 @@ func NewManager(reg *registry.Registry, ts Transport, pricing cost.Pricing, opts
 		transport: ts,
 		pricing:   pricing,
 		opts:      opts,
+		met:       newNegMetrics(opts.Metrics),
 		now:       time.Now,
 		servers:   make(map[media.ServerID]serverEntry),
 		health:    make(map[media.ServerID]*serverHealth),
@@ -283,9 +301,9 @@ func (m *Manager) trace(step, offerKey, detail string) {
 // servers before the product is built, so the pipeline exploits the
 // paper's multi-server variant redundancy instead of burning commit
 // attempts on dead replicas.
-func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.Machine, u profile.UserProfile, exclude func(media.Variant) bool) ([]offer.Ranked, error) {
+func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.Machine, u profile.UserProfile, exclude func(media.Variant) bool, t *stepTimer) ([]offer.Ranked, error) {
 	if orderer, ok := m.opts.Classifier.(offer.Orderer); ok {
-		return offer.EnumerateTopK(ctx, doc, mach, m.pricing, u, offer.PipelineOptions{
+		ranked, err := offer.EnumerateTopK(ctx, doc, mach, m.pricing, u, offer.PipelineOptions{
 			MaxOffers: m.opts.MaxOffers,
 			Guarantee: u.Desired.Cost.Guarantee,
 			Workers:   m.opts.Concurrency,
@@ -293,6 +311,11 @@ func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.
 			Orderer:   orderer,
 			Exclude:   exclude,
 		})
+		// The fused pipeline performs steps 2-4 in one streaming pass, so
+		// a single classification lap covers compatibility checking,
+		// classification parameters and classification.
+		t.lap(telemetry.StepClassification)
+		return ranked, err
 	}
 	offers, err := offer.Enumerate(doc, mach, m.pricing, offer.EnumerateOptions{
 		MaxOffers: m.opts.MaxOffers,
@@ -300,20 +323,29 @@ func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.
 		Workers:   m.opts.Concurrency,
 		Exclude:   exclude,
 	})
+	t.lap(telemetry.StepCompatibilityCheck)
 	if err != nil {
 		return nil, err
 	}
 	ranked := offer.Rank(offers, u)
+	t.lap(telemetry.StepClassificationParams)
 	m.opts.Classifier.Sort(ranked)
+	t.lap(telemetry.StepClassification)
 	return ranked, nil
 }
 
 // runProcedure executes steps 1–5 of Section 4.
 func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc media.Document, u profile.UserProfile) (negOutcome, error) {
+	t := m.stepTimer()
 	// Step 1: static local negotiation.
 	if violations := mach.CheckLocal(u.Desired); len(violations) > 0 {
 		local := mach.LocalOffer(u.Desired)
-		m.trace("local-failed", "", violations[0].String())
+		t.lap(telemetry.StepLocalNegotiation)
+		if m.tracing() {
+			detail := violations[0].String()
+			m.trace("local-failed", "", detail)
+			m.span(telemetry.Event{Step: telemetry.StepLocalNegotiation, Status: "failed", Detail: detail})
+		}
 		return negOutcome{
 			status:     FailedWithLocalOffer,
 			localOffer: &local,
@@ -321,13 +353,14 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 			reason:     fmt.Sprintf("client machine cannot render the requested QoS: %v", violations[0]),
 		}, nil
 	}
+	t.lap(telemetry.StepLocalNegotiation)
 
 	// Steps 2–4: static compatibility checking, offer enumeration,
 	// classification parameters and classification, on the streaming
 	// parallel pipeline. Variants on quarantined servers are excluded up
 	// front: the breaker already has evidence they cannot commit.
 	exclude, quarRemain := m.quarantineExclude()
-	ranked, err := m.classify(ctx, doc, mach, u, exclude)
+	ranked, err := m.classify(ctx, doc, mach, u, exclude, &t)
 	if err != nil {
 		var nv *offer.NoVariantError
 		if errors.As(err, &nv) {
@@ -335,7 +368,11 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 				// Decodable variants exist but every one lives on a
 				// quarantined server: a transient shortage, not a
 				// structural mismatch.
-				m.trace("no-variant", "", fmt.Sprintf("%s (all variants quarantined)", nv.Monomedia))
+				if m.tracing() {
+					detail := fmt.Sprintf("%s (all variants quarantined)", nv.Monomedia)
+					m.trace("no-variant", "", detail)
+					m.span(telemetry.Event{Step: telemetry.StepClassification, Status: "no-variant", Detail: detail})
+				}
 				return negOutcome{
 					status:     FailedTryLater,
 					retryAfter: maxDuration(quarRemain, m.opts.Health.retryAfter()),
@@ -343,6 +380,7 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 				}, nil
 			}
 			m.trace("no-variant", "", string(nv.Monomedia))
+			m.span(telemetry.Event{Step: telemetry.StepClassification, Status: "no-variant", Detail: string(nv.Monomedia)})
 			return negOutcome{
 				status: FailedWithoutOffer,
 				reason: fmt.Sprintf("no feasible physical configuration: %v", err),
@@ -361,18 +399,30 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 	for _, group := range [][]offer.Ranked{acceptable, feasible} {
 		for _, r := range group {
 			if id, onDead := offerOnDead(r, dead); onDead {
-				m.trace("skip-dead", r.Key(), string(id))
+				if m.tracing() {
+					m.trace("skip-dead", r.Key(), string(id))
+					m.span(telemetry.Event{Step: telemetry.StepSkipDead, Offer: r.Key(), Server: string(id)})
+				}
+				m.met.skip()
 				skipped++
 				continue
 			}
-			m.trace("commit-attempt", r.Key(), fmt.Sprintf("%s OIF=%.4g %s", r.Status, r.OIF, r.Total()))
+			if m.tracing() {
+				m.trace("commit-attempt", r.Key(), fmt.Sprintf("%s OIF=%.4g %s", r.Status, r.OIF, r.Total()))
+			}
 			cm, fail := m.tryCommit(ctx, mach, doc, u, r)
 			if fail != nil {
 				if err := ctx.Err(); err != nil {
-					m.trace("commit-failed", r.Key(), err.Error())
+					if m.tracing() {
+						m.trace("commit-failed", r.Key(), err.Error())
+						m.span(telemetry.Event{Step: telemetry.StepCommitment, Offer: r.Key(), Status: "canceled", Detail: err.Error()})
+					}
 					return negOutcome{}, err
 				}
-				m.trace("commit-failed", r.Key(), fail.String())
+				if m.tracing() {
+					m.trace("commit-failed", r.Key(), fail.String())
+					m.span(telemetry.Event{Step: telemetry.StepCommitment, Offer: r.Key(), Server: string(fail.server), Status: fail.cause.String(), Detail: fail.String()})
+				}
 				switch fail.cause {
 				case CauseServerDown:
 					downs++
@@ -391,18 +441,27 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 			if r.Status != offer.Constraint && offer.WithinBudget(r.SystemOffer, u) {
 				status = Succeeded
 			}
-			m.trace("committed", r.Key(), status.String())
+			t.lap(telemetry.StepCommitment)
+			if m.tracing() {
+				m.trace("committed", r.Key(), status.String())
+				m.span(telemetry.Event{Step: telemetry.StepCommitment, Offer: r.Key(), Status: status.String()})
+			}
 			return negOutcome{status: status, ranked: ranked, chosen: r, commit: cm}, nil
 		}
 	}
+	t.lap(telemetry.StepCommitment)
 
 	// Every feasible offer failed commitment. If each attempt hit a hard
 	// profile constraint (start delay, sync tolerance), no retry can help:
 	// there is no supportable configuration for this profile at all. Any
 	// shortage or dead server, by contrast, is transient — FAILEDTRYLATER
 	// with an honest retry hint.
-	m.trace("exhausted", "", fmt.Sprintf("%d feasible offers (%d server-down, %d capacity, %d constraint, %d skipped)",
-		len(ranked), downs, capacities, constraints, skipped))
+	if m.tracing() {
+		detail := fmt.Sprintf("%d feasible offers (%d server-down, %d capacity, %d constraint, %d skipped)",
+			len(ranked), downs, capacities, constraints, skipped)
+		m.trace("exhausted", "", detail)
+		m.span(telemetry.Event{Step: telemetry.StepCommitment, Status: "exhausted", Detail: detail})
+	}
 	if constraints > 0 && downs+capacities+skipped == 0 {
 		return negOutcome{
 			status: FailedWithoutOffer,
@@ -474,9 +533,16 @@ func (m *Manager) NegotiateContext(ctx context.Context, mach client.Machine, doc
 	m.stats.Requests++
 	m.statsMu.Unlock()
 
+	var begin time.Time
+	if m.met != nil {
+		begin = m.now()
+	}
 	out, err := m.runProcedure(ctx, mach, doc, u)
 	if err != nil {
 		return Result{}, err
+	}
+	if m.met != nil {
+		m.met.observeNegotiation(m.now().Sub(begin))
 	}
 	m.count(out.status)
 	if !out.status.Reserved() {
@@ -497,6 +563,9 @@ func (m *Manager) NegotiateContext(ctx context.Context, mach client.Machine, doc
 		ChoicePeriod: m.choicePeriodFor(u),
 		state:        Reserved,
 		commit:       out.commit,
+	}
+	if m.met != nil || m.opts.Tracer != nil {
+		sess.reservedAt = m.now()
 	}
 	m.sessMu.Lock()
 	m.nextID++
@@ -552,10 +621,17 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 	m.statsMu.Lock()
 	m.stats.Requests++
 	m.statsMu.Unlock()
+	var begin time.Time
+	if m.met != nil {
+		begin = m.now()
+	}
 	out, err := m.runProcedure(ctx, mach, doc, u)
 	if err != nil {
 		m.Abort(id)
 		return Result{}, err
+	}
+	if m.met != nil {
+		m.met.observeNegotiation(m.now().Sub(begin))
 	}
 	m.count(out.status)
 	if !out.status.Reserved() {
@@ -576,12 +652,16 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 	s.Ranked = out.ranked
 	s.ChoicePeriod = m.choicePeriodFor(u)
 	s.commit = out.commit
+	if m.met != nil || m.opts.Tracer != nil {
+		s.reservedAt = m.now()
+	}
 	s.mu.Unlock()
 	uo := out.chosen.UserOffer()
 	return Result{Status: out.status, Offer: &uo, Session: s}, nil
 }
 
 func (m *Manager) count(s NegotiationStatus) {
+	m.met.outcome(s)
 	m.statsMu.Lock()
 	defer m.statsMu.Unlock()
 	switch s {
@@ -729,6 +809,13 @@ func (m *Manager) Confirm(id SessionID) error {
 		return fmt.Errorf("%w: confirm in state %v", ErrBadState, s.state)
 	}
 	s.state = Playing
+	// Step 6's latency: how long the user deliberated before accepting
+	// the reserved configuration.
+	if !s.reservedAt.IsZero() {
+		d := m.now().Sub(s.reservedAt)
+		m.met.step(telemetry.StepConfirmation).Observe(d)
+		m.span(telemetry.Event{Step: telemetry.StepConfirmation, Elapsed: d})
+	}
 	return nil
 }
 
@@ -802,6 +889,7 @@ func (m *Manager) Complete(id SessionID) error {
 	price := s.Current.Total()
 	s.mu.Unlock()
 	m.release(cm)
+	m.met.addRevenue(int64(price))
 	m.statsMu.Lock()
 	m.stats.Revenue += price
 	m.statsMu.Unlock()

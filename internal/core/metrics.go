@@ -1,0 +1,185 @@
+package core
+
+import (
+	"time"
+
+	"qosneg/internal/media"
+	"qosneg/internal/telemetry"
+)
+
+// Metric names exported by the manager. DESIGN.md §9 documents the full
+// vocabulary; qosctl renders the negotiation ones.
+const (
+	MetricNegotiations    = "qosneg_negotiations_total"
+	MetricNegotiationTime = "qosneg_negotiation_seconds"
+	MetricStepTime        = "qosneg_negotiation_step_seconds"
+	MetricCommitFailures  = "qosneg_commit_failures_total"
+	MetricCommitSkips     = "qosneg_commit_skips_total"
+	MetricQuarantines     = "qosneg_quarantines_total"
+	MetricQuarantined     = "qosneg_server_quarantined_until_seconds"
+	MetricConsecutive     = "qosneg_server_consecutive_failures"
+	MetricAdaptations     = "qosneg_adaptations_total"
+	MetricRevenue         = "qosneg_revenue_millidollars_total"
+)
+
+// negMetrics caches the manager's metric series so hot paths record through
+// pre-resolved pointers instead of name lookups. A nil *negMetrics (metrics
+// disabled) is fully inert: every method nil-checks first.
+type negMetrics struct {
+	outcomes       *telemetry.CounterFamily
+	negSeconds     *telemetry.Histogram
+	steps          *telemetry.HistogramFamily
+	stepCache      [telemetry.StepAdaptation + 1]*telemetry.Histogram
+	commitFailures *telemetry.CounterFamily
+	commitSkips    *telemetry.Counter
+	quarantines    *telemetry.Counter
+	quarantined    *telemetry.GaugeFamily
+	consecutive    *telemetry.GaugeFamily
+	adaptations    *telemetry.CounterFamily
+	revenue        *telemetry.Counter
+}
+
+// newNegMetrics registers the manager's metrics; nil registry → nil metrics.
+func newNegMetrics(reg *telemetry.Registry) *negMetrics {
+	if reg == nil {
+		return nil
+	}
+	n := &negMetrics{
+		outcomes: reg.CounterFamily(MetricNegotiations,
+			"Negotiation outcomes by NegotiationStatus.", "status"),
+		negSeconds: reg.Histogram(MetricNegotiationTime,
+			"End-to-end negotiation latency (steps 1-5).", telemetry.LatencyBuckets),
+		steps: reg.HistogramFamily(MetricStepTime,
+			"Per-step negotiation latency.", "step", telemetry.LatencyBuckets),
+		commitFailures: reg.CounterFamily(MetricCommitFailures,
+			"Failed resource-commitment attempts by cause.", "cause"),
+		commitSkips: reg.Counter(MetricCommitSkips,
+			"Offers skipped because their server was already seen down this run."),
+		quarantines: reg.Counter(MetricQuarantines,
+			"Circuit-breaker trips."),
+		quarantined: reg.GaugeFamily(MetricQuarantined,
+			"Unix time a server's quarantine ends; 0 when healthy.", "server"),
+		consecutive: reg.GaugeFamily(MetricConsecutive,
+			"Consecutive commit failures since the server's last success.", "server"),
+		adaptations: reg.CounterFamily(MetricAdaptations,
+			"Adaptation-procedure runs by result.", "result"),
+		revenue: reg.Counter(MetricRevenue,
+			"Accumulated price of completed sessions, milli-dollars."),
+	}
+	// Pre-resolve the per-step series so stepTimer.lap never takes the
+	// family's map path on the hot path.
+	for s := telemetry.StepLocalNegotiation; s <= telemetry.StepAdaptation; s++ {
+		n.stepCache[s] = n.steps.With(s.String())
+	}
+	return n
+}
+
+func (n *negMetrics) step(s telemetry.Step) *telemetry.Histogram {
+	if n == nil || int(s) >= len(n.stepCache) {
+		return nil
+	}
+	return n.stepCache[s]
+}
+
+func (n *negMetrics) outcome(s NegotiationStatus) {
+	if n != nil {
+		n.outcomes.With(s.String()).Inc()
+	}
+}
+
+func (n *negMetrics) commitFailure(c FailureCause) {
+	if n != nil {
+		n.commitFailures.With(c.String()).Inc()
+	}
+}
+
+func (n *negMetrics) skip() {
+	if n != nil {
+		n.commitSkips.Inc()
+	}
+}
+
+func (n *negMetrics) quarantineTrip() {
+	if n != nil {
+		n.quarantines.Inc()
+	}
+}
+
+func (n *negMetrics) adapt(ok bool) {
+	if n == nil {
+		return
+	}
+	if ok {
+		n.adaptations.With("ok").Inc()
+	} else {
+		n.adaptations.With("failed").Inc()
+	}
+}
+
+func (n *negMetrics) addRevenue(milli int64) {
+	if n != nil && milli > 0 {
+		n.revenue.Add(uint64(milli))
+	}
+}
+
+func (n *negMetrics) observeNegotiation(d time.Duration) {
+	if n != nil {
+		n.negSeconds.Observe(d)
+	}
+}
+
+func (n *negMetrics) serverHealthGauges(id media.ServerID, consecutive int, until time.Time) {
+	if n == nil {
+		return
+	}
+	n.consecutive.With(string(id)).Set(int64(consecutive))
+	var end int64
+	if !until.IsZero() {
+		end = until.Unix()
+	}
+	n.quarantined.With(string(id)).Set(end)
+}
+
+// tracing reports whether any trace consumer — the legacy string callback
+// or the structured tracer — is installed. Call sites that render detail
+// strings must check it first so disabled tracing allocates nothing.
+func (m *Manager) tracing() bool {
+	return m.opts.Trace != nil || m.opts.Tracer != nil
+}
+
+// span emits a structured event to the tracer only (never to the legacy
+// callback, whose event vocabulary and details are frozen by its tests).
+func (m *Manager) span(e telemetry.Event) {
+	if m.opts.Tracer != nil {
+		m.opts.Tracer.Trace(e)
+	}
+}
+
+// stepTimer laps the phases of one negotiation run into the per-step
+// histograms and span stream. The zero value (telemetry disabled) is inert
+// and costs no clock reads.
+type stepTimer struct {
+	m    *Manager
+	last time.Time
+}
+
+// stepTimer returns a running timer, or an inert one when neither metrics
+// nor a tracer would consume the laps.
+func (m *Manager) stepTimer() stepTimer {
+	if m.met == nil && m.opts.Tracer == nil {
+		return stepTimer{}
+	}
+	return stepTimer{m: m, last: m.now()}
+}
+
+// lap closes the current phase as step s and starts the next one.
+func (t *stepTimer) lap(s telemetry.Step) {
+	if t.m == nil {
+		return
+	}
+	now := t.m.now()
+	d := now.Sub(t.last)
+	t.last = now
+	t.m.met.step(s).Observe(d)
+	t.m.span(telemetry.Event{Step: s, Elapsed: d})
+}

@@ -81,6 +81,9 @@ type Session struct {
 	// expired marks an Aborted session whose choice period timed out, so
 	// late Confirm/Reject/Renegotiate calls get ErrChoicePeriodExpired.
 	expired bool
+	// reservedAt is when resources were committed; only set while
+	// telemetry is enabled, to time step 6 (reservation → confirmation).
+	reservedAt time.Time
 }
 
 // State returns the session's lifecycle state.

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"qosneg/internal/qos"
+	"qosneg/internal/telemetry"
 )
 
 // NodeID names a network node: a client machine, a server machine or an
@@ -96,6 +97,30 @@ type Network struct {
 	nodes    map[NodeID]bool
 	next     ReservationID
 	resv     map[ReservationID]Reservation
+
+	// Telemetry series, installed by Instrument; nil when uninstrumented.
+	admitted *telemetry.Counter
+	rejected *telemetry.Counter
+	active   *telemetry.Gauge
+}
+
+// Instrument wires the network's reservation decisions into a telemetry
+// registry: admit/reject counters and a live-reservation gauge. A nil
+// registry is a no-op.
+func (n *Network) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	admitted := reg.Counter("qosneg_network_admits_total",
+		"Path bandwidth reservations admitted.")
+	rejected := reg.Counter("qosneg_network_rejects_total",
+		"Path bandwidth reservations rejected (path no longer feasible).")
+	active := reg.Gauge("qosneg_network_active_reservations",
+		"Currently held path reservations.")
+	n.mu.Lock()
+	n.admitted, n.rejected, n.active = admitted, rejected, active
+	n.active.Set(int64(len(n.resv)))
+	n.mu.Unlock()
 }
 
 type linkState struct {
@@ -321,9 +346,11 @@ func (n *Network) Reserve(p Path, q qos.NetworkQoS) (Reservation, error) {
 	defer n.mu.Unlock()
 	m, err := n.metricsLocked(p)
 	if err != nil {
+		n.rejected.Inc()
 		return Reservation{}, err
 	}
 	if !feasibleLocked(m, q) {
+		n.rejected.Inc()
 		return Reservation{}, fmt.Errorf("%w: path no longer feasible for %v", ErrNoPath, q)
 	}
 	for _, id := range p {
@@ -332,6 +359,8 @@ func (n *Network) Reserve(p Path, q qos.NetworkQoS) (Reservation, error) {
 	n.next++
 	r := Reservation{ID: n.next, Path: append(Path{}, p...), Rate: q.AvgBitRate}
 	n.resv[r.ID] = r
+	n.admitted.Inc()
+	n.active.Set(int64(len(n.resv)))
 	return r, nil
 }
 
@@ -352,6 +381,7 @@ func (n *Network) Release(id ReservationID) error {
 		}
 	}
 	delete(n.resv, id)
+	n.active.Set(int64(len(n.resv)))
 	return nil
 }
 

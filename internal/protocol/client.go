@@ -15,6 +15,7 @@ import (
 	"qosneg/internal/cost"
 	"qosneg/internal/media"
 	"qosneg/internal/profile"
+	"qosneg/internal/telemetry"
 )
 
 // ErrClientClosed is returned for RPCs on a closed client.
@@ -101,6 +102,30 @@ type Client struct {
 	closed bool
 	// redials counts successful reconnects, for tests and diagnostics.
 	redials int
+
+	// Telemetry, installed by Instrument; nil when uninstrumented.
+	rpcSeconds *telemetry.HistogramFamily
+	rpcErrors  *telemetry.CounterFamily
+	redialCtr  *telemetry.Counter
+	tracer     telemetry.Tracer
+}
+
+// Instrument wires the client into a telemetry registry (per-RPC latency
+// histograms and error counters by message type, a redial counter) and an
+// optional tracer that receives a StepRedial span per successful reconnect.
+// Both arguments may be nil.
+func (c *Client) Instrument(reg *telemetry.Registry, tr telemetry.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if reg != nil {
+		c.rpcSeconds = reg.HistogramFamily("qosneg_rpc_client_seconds",
+			"Client-side RPC latency by message type, including retries.", "type", telemetry.LatencyBuckets)
+		c.rpcErrors = reg.CounterFamily("qosneg_rpc_client_errors_total",
+			"Client RPCs that ultimately failed, by message type.", "type")
+		c.redialCtr = reg.Counter("qosneg_client_redials_total",
+			"Successful reconnects to the daemon.")
+	}
+	c.tracer = tr
 }
 
 // Dial connects to a negotiation daemon with the default retry policy.
@@ -178,6 +203,10 @@ func (c *Client) ensureConnLocked(ctx context.Context) error {
 	c.conn, c.enc, c.dec = conn, json.NewEncoder(conn), json.NewDecoder(conn)
 	c.broken = false
 	c.redials++
+	c.redialCtr.Inc()
+	if c.tracer != nil {
+		c.tracer.Trace(telemetry.Event{Step: telemetry.StepRedial, Server: c.addr})
+	}
 	return nil
 }
 
@@ -247,6 +276,19 @@ func (c *Client) exchangeLocked(ctx context.Context, req Request) (Response, err
 func (c *Client) roundTrip(ctx context.Context, req Request, idempotent bool) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.rpcSeconds != nil {
+		begin := time.Now()
+		defer func() { c.rpcSeconds.With(string(req.Type)).Observe(time.Since(begin)) }()
+	}
+	resp, err := c.roundTripLocked(ctx, req, idempotent)
+	if err != nil {
+		c.rpcErrors.With(string(req.Type)).Inc()
+	}
+	return resp, err
+}
+
+// roundTripLocked is roundTrip's retry loop; the caller holds c.mu.
+func (c *Client) roundTripLocked(ctx context.Context, req Request, idempotent bool) (Response, error) {
 	policy := c.retry.withDefaults()
 	attempts := 1
 	if idempotent && c.addr != "" {
@@ -566,4 +608,25 @@ func (c *Client) StatsContext(ctx context.Context) (core.Stats, error) {
 		return core.Stats{}, fmt.Errorf("protocol: empty stats response")
 	}
 	return *resp.Stats, nil
+}
+
+// Metrics fetches the daemon's telemetry snapshot.
+//
+// Deprecated: use MetricsContext.
+func (c *Client) Metrics() (telemetry.Snapshot, error) {
+	return c.MetricsContext(context.Background())
+}
+
+// MetricsContext fetches the daemon's telemetry snapshot: every counter,
+// gauge and latency histogram the daemon records. A daemon running without
+// telemetry answers with an empty snapshot.
+func (c *Client) MetricsContext(ctx context.Context) (telemetry.Snapshot, error) {
+	resp, err := c.roundTrip(ctx, Request{Type: MsgMetrics}, true)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	if resp.Metrics == nil {
+		return telemetry.Snapshot{}, fmt.Errorf("protocol: empty metrics response")
+	}
+	return *resp.Metrics, nil
 }

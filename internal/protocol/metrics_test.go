@@ -1,0 +1,103 @@
+package protocol
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"qosneg/internal/core"
+	"qosneg/internal/telemetry"
+	"qosneg/internal/testbed"
+)
+
+// instrumentedHarness is newHarness with a telemetry registry wired into
+// the protocol server before it starts serving.
+func instrumentedHarness(t *testing.T, reg *telemetry.Registry) *harness {
+	t.Helper()
+	bed := testbed.MustNew(testbed.Spec{})
+	if _, err := bed.AddNewsArticle("news-1", "Election night", 90*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(bed.Manager, bed.Registry)
+	srv.Instrument(reg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(l)
+	}()
+	h := &harness{bed: bed, server: srv, addr: l.Addr().String(), done: done}
+	t.Cleanup(func() {
+		l.Close()
+		srv.Close()
+		<-done
+	})
+	return h
+}
+
+func TestMetricsOverWire(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	h := instrumentedHarness(t, reg)
+	c := h.dial(t)
+	c.Instrument(reg, nil)
+
+	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.Succeeded {
+		t.Fatalf("status = %v (%s)", res.Status, res.Reason)
+	}
+	if err := c.Reject(res.Session); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server-side RPC latency for the negotiate round must be on the wire
+	// snapshot; by the time MsgMetrics is answered, at least negotiate and
+	// reject have been timed.
+	h8, ok := snap.Find("qosneg_rpc_server_seconds", string(MsgNegotiate))
+	if !ok || h8.Count != 1 {
+		t.Fatalf("rpc_server_seconds{negotiate} = %+v ok=%v, want one observation", h8, ok)
+	}
+	if got := snap.CounterValue("qosneg_rpc_server_errors_total", ""); got != 0 {
+		t.Fatalf("server errors = %d, want 0", got)
+	}
+	// The shared registry also accumulated the client's own RPC series.
+	if _, ok := snap.Find("qosneg_rpc_client_seconds", string(MsgNegotiate)); !ok {
+		t.Fatalf("snapshot missing client RPC histogram")
+	}
+
+	// A failing RPC bumps the server error counter.
+	if _, err := c.Session(core.SessionID(9999)); err == nil {
+		t.Fatalf("expected error for unknown session")
+	}
+	snap, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.CounterValue("qosneg_rpc_server_errors_total", string(MsgSession)); got != 1 {
+		t.Fatalf("server errors{session} = %d, want 1", got)
+	}
+	if got := snap.CounterValue("qosneg_rpc_client_errors_total", string(MsgSession)); got != 1 {
+		t.Fatalf("client errors{session} = %d, want 1", got)
+	}
+}
+
+func TestMetricsUninstrumentedDaemon(t *testing.T) {
+	h := newHarness(t)
+	c := h.dial(t)
+	snap, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Fatalf("uninstrumented daemon returned non-empty snapshot: %+v", snap)
+	}
+}

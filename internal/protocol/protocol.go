@@ -18,6 +18,7 @@ import (
 	"qosneg/internal/cost"
 	"qosneg/internal/media"
 	"qosneg/internal/profile"
+	"qosneg/internal/telemetry"
 )
 
 // MessageType discriminates requests and responses.
@@ -52,6 +53,10 @@ const (
 	// adaptations) without polling. Use a dedicated connection; the
 	// stream occupies it.
 	MsgWatch MessageType = "watch"
+	// MsgMetrics fetches the daemon's full telemetry snapshot (counters,
+	// gauges, latency histograms); `qosctl stats` renders it. A daemon
+	// running without telemetry answers with an empty snapshot.
+	MsgMetrics MessageType = "metrics"
 )
 
 // Response types.
@@ -72,6 +77,8 @@ const (
 	MsgInvoiceInfo MessageType = "invoice-info"
 	// MsgServerLoadsInfo answers MsgServerLoads.
 	MsgServerLoadsInfo MessageType = "server-loads-info"
+	// MsgMetricsInfo answers MsgMetrics.
+	MsgMetricsInfo MessageType = "metrics-info"
 	// MsgError reports a request failure.
 	MsgError MessageType = "error"
 )
@@ -141,6 +148,9 @@ type Response struct {
 
 	// MsgServerLoadsInfo fields.
 	ServerLoads []core.ServerLoad `json:"serverLoads,omitempty"`
+
+	// MsgMetricsInfo fields.
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // SessionSummary is one row of MsgSessions.

@@ -14,6 +14,7 @@ import (
 	"qosneg/internal/core"
 	"qosneg/internal/media"
 	"qosneg/internal/registry"
+	"qosneg/internal/telemetry"
 )
 
 // Server exposes a QoS manager over TCP. It enforces each reserved
@@ -38,6 +39,33 @@ type Server struct {
 	closed      bool
 	// Expired counts sessions aborted by choice-period time-out.
 	expired int
+
+	// Telemetry, installed by Instrument before Serve; all nil when the
+	// server runs uninstrumented (every recording call is nil-safe).
+	metrics    *telemetry.Registry
+	rpcSeconds *telemetry.HistogramFamily
+	rpcErrors  *telemetry.CounterFamily
+	connGauge  *telemetry.Gauge
+	expiredCtr *telemetry.Counter
+}
+
+// Instrument wires the server into a telemetry registry: per-RPC latency
+// histograms and error counters by message type, a live-connection gauge,
+// a choice-period-expiry counter — and makes MsgMetrics answer with the
+// registry's snapshot. Call before Serve; a nil registry is a no-op.
+func (s *Server) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metrics = reg
+	s.rpcSeconds = reg.HistogramFamily("qosneg_rpc_server_seconds",
+		"Server-side RPC handling latency by message type.", "type", telemetry.LatencyBuckets)
+	s.rpcErrors = reg.CounterFamily("qosneg_rpc_server_errors_total",
+		"RPCs answered with an error, by message type.", "type")
+	s.connGauge = reg.Gauge("qosneg_server_connections",
+		"Currently open protocol connections.")
+	s.expiredCtr = reg.Counter("qosneg_sessions_expired_total",
+		"Sessions aborted by choice-period time-out.")
 }
 
 // NewServer builds a protocol server over the QoS manager and registry.
@@ -76,12 +104,14 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = true
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.connGauge.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.handle(conn)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()
+			s.connGauge.Add(-1)
 		}()
 	}
 }
@@ -125,7 +155,17 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		var begin time.Time
+		if s.rpcSeconds != nil {
+			begin = time.Now()
+		}
 		resp := s.dispatch(req)
+		if s.rpcSeconds != nil {
+			s.rpcSeconds.With(string(req.Type)).Observe(time.Since(begin))
+		}
+		if resp.Type == MsgError {
+			s.rpcErrors.With(string(req.Type)).Inc()
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -153,6 +193,11 @@ func (s *Server) dispatch(req Request) Response {
 		return s.listSessions()
 	case MsgServerLoads:
 		return Response{Type: MsgServerLoadsInfo, ServerLoads: s.man.ServerLoads()}
+	case MsgMetrics:
+		// Snapshot is nil-safe: an uninstrumented daemon answers with an
+		// empty (but well-formed) snapshot rather than an error.
+		snap := s.metrics.Snapshot()
+		return Response{Type: MsgMetricsInfo, Metrics: &snap}
 	case MsgInvoice:
 		inv, err := s.man.Invoice(req.Session)
 		if err != nil {
@@ -207,6 +252,7 @@ func (s *Server) armChoiceTimer(id core.SessionID, period time.Duration) {
 		// raced Confirm wins harmlessly; an expired session answers later
 		// Confirm/Reject calls with ErrChoicePeriodExpired.
 		if err := s.man.Expire(id); err == nil {
+			s.expiredCtr.Inc()
 			s.mu.Lock()
 			s.expired++
 			s.mu.Unlock()

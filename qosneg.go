@@ -65,6 +65,7 @@ import (
 	"qosneg/internal/registry"
 	"qosneg/internal/session"
 	"qosneg/internal/sim"
+	"qosneg/internal/telemetry"
 	"qosneg/internal/testbed"
 	"qosneg/internal/transport"
 )
@@ -80,6 +81,8 @@ type config struct {
 	topK        int
 	health      *core.HealthPolicy
 	retry       protocol.RetryPolicy
+	metrics     *telemetry.Registry
+	tracer      telemetry.Tracer
 }
 
 // Option configures New; the With* constructors build them.
@@ -150,6 +153,25 @@ func WithRetryPolicy(p protocol.RetryPolicy) Option {
 	return func(c *config) { c.retry = p }
 }
 
+// WithMetrics instruments the whole system with the given telemetry
+// registry: the QoS manager records negotiation outcome counters and
+// per-step latency histograms, every CMFS server and the network record
+// admission decisions, and servers/clients built by Serve and Dial record
+// per-RPC latency. A nil registry (telemetry.Noop) leaves the hot paths
+// free of telemetry work. It applies on top of WithOptions.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(c *config) { c.metrics = reg }
+}
+
+// WithTracer installs a structured span tracer on the QoS manager (and on
+// clients built by Dial): every negotiation step, skip, quarantine and
+// redial emits a typed telemetry.Event. It supersedes the string-based
+// core.Options.Trace callback, which remains supported; both may be
+// installed. It applies on top of WithOptions.
+func WithTracer(tr telemetry.Tracer) Option {
+	return func(c *config) { c.tracer = tr }
+}
+
 // WithFaultInjector wraps every CMFS server and the transport system with
 // the given fault injector before they are registered with the manager, so
 // crashes, probabilistic failures and latency can be driven at runtime
@@ -174,6 +196,11 @@ type System struct {
 	Faults *faults.Injector
 	// Retry is the redial/backoff policy System.Dial hands to clients.
 	Retry protocol.RetryPolicy
+	// Metrics is the telemetry registry installed by WithMetrics, nil
+	// otherwise. Serve and Dial instrument the wire layer with it.
+	Metrics *telemetry.Registry
+	// Tracer is the span tracer installed by WithTracer, nil otherwise.
+	Tracer telemetry.Tracer
 }
 
 // New assembles a system from the options; with none it builds the default
@@ -196,10 +223,22 @@ func New(options ...Option) (*System, error) {
 	if cfg.health != nil {
 		opts.Health = *cfg.health
 	}
+	if cfg.metrics != nil {
+		opts.Metrics = cfg.metrics
+	}
+	if cfg.tracer != nil {
+		opts.Tracer = cfg.tracer
+	}
 	cfg.spec.Options = &opts
 	bed, err := testbed.New(cfg.spec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.metrics != nil {
+		for _, srv := range bed.Servers {
+			srv.Instrument(cfg.metrics)
+		}
+		bed.Network.Instrument(cfg.metrics)
 	}
 	store := profile.NewStore()
 	for _, p := range profile.DefaultProfiles() {
@@ -218,6 +257,8 @@ func New(options ...Option) (*System, error) {
 		Pricing:  bed.Pricing,
 		Faults:   bed.Faults,
 		Retry:    cfg.retry,
+		Metrics:  cfg.metrics,
+		Tracer:   cfg.tracer,
 	}, nil
 }
 
@@ -311,11 +352,19 @@ func (s *System) Player(eng *sim.Engine) *session.Player {
 // blocks until l is closed. The returned server's Close stops handlers.
 func (s *System) Serve(l net.Listener) (*protocol.Server, error) {
 	srv := protocol.NewServer(s.Manager, s.Registry)
+	srv.Instrument(s.Metrics)
 	return srv, srv.Serve(l)
 }
 
 // Dial connects a self-healing protocol client to a negotiation daemon
 // using the system's retry policy (WithRetryPolicy).
 func (s *System) Dial(ctx context.Context, addr string) (*protocol.Client, error) {
-	return protocol.DialRetry(ctx, addr, s.Retry)
+	c, err := protocol.DialRetry(ctx, addr, s.Retry)
+	if err != nil {
+		return nil, err
+	}
+	if s.Metrics != nil || s.Tracer != nil {
+		c.Instrument(s.Metrics, s.Tracer)
+	}
+	return c, nil
 }

@@ -1,0 +1,47 @@
+#!/bin/sh
+# Benchmark runner.
+#
+#   scripts/bench.sh -smoke      run every benchmark once (the check.sh gate)
+#   scripts/bench.sh [count]     run the root-package experiment benchmarks
+#                                `count` times (default 3) and write
+#                                BENCH_<date>.json with ns/op, B/op and
+#                                allocs/op per run
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-smoke" ]; then
+	exec go test -run '^$' -bench . -benchtime=1x ./...
+fi
+
+count="${1:-3}"
+out="BENCH_$(date +%Y-%m-%d).json"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench . -benchmem -count "$count" . | tee "$tmp"
+
+# Convert the standard benchmark lines into a JSON array. Every line looks
+# like: BenchmarkName-8  1234  56789 ns/op  100 B/op  3 allocs/op
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	iters = $2; ns = ""; bytes = ""; allocs = ""
+	for (i = 3; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		if ($i == "B/op") bytes = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	if (!first) printf ",\n"
+	first = 0
+	printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+	if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { print "\n]" }
+' "$tmp" >"$out"
+
+echo "bench: wrote $out"

@@ -21,8 +21,11 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== telemetry zero-alloc gate"
+go test -run 'TestNoopTelemetryZeroAlloc' ./internal/telemetry ./internal/core
+
 echo "== benchmarks (smoke, 1 iteration)"
-go test -run '^$' -bench . -benchtime=1x ./...
+./scripts/bench.sh -smoke
 
 echo "== fuzz (smoke, 5s per target)"
 go test -run '^$' -fuzz '^FuzzCurveEval$' -fuzztime 5s ./internal/profile

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover check experiments examples fmt vet fuzz clean
+.PHONY: all build test race bench cover check experiments examples fmt vet fuzz stress clean
 
 all: build test
 
@@ -16,6 +16,12 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzCurveEval$$' -fuzztime 5s ./internal/profile
 	$(GO) test -run '^$$' -fuzz '^FuzzServerInput$$' -fuzztime 5s ./internal/protocol
 	$(GO) test -run '^$$' -fuzz '^FuzzTableClassify$$' -fuzztime 5s ./internal/cost
+
+# Long concurrency stress on the session lifecycle (the epoch guard and the
+# resource ledger), beyond the short gate `make check` runs. Scale the
+# per-worker operation count with QOSNEG_STRESS_ITERS.
+stress:
+	QOSNEG_STRESS_ITERS=$${QOSNEG_STRESS_ITERS:-2000} $(GO) test -race -count=1 -v -run 'TestLifecycleStress|TestChaos' ./internal/core
 
 build:
 	$(GO) build ./...

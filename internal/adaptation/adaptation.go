@@ -13,6 +13,7 @@
 package adaptation
 
 import (
+	"context"
 	"time"
 
 	"qosneg/internal/cmfs"
@@ -51,6 +52,14 @@ type Report struct {
 // reservation is traced to its session and each affected playing session is
 // adapted at most once.
 func (m *Monitor) Scan() Report {
+	return m.ScanContext(context.Background())
+}
+
+// ScanContext is Scan bounded by ctx: each adaptation runs under the
+// context, and once it is done the remaining victims are reported as
+// skipped rather than adapted — their sessions stay playing for the next
+// sweep.
+func (m *Monitor) ScanContext(ctx context.Context) Report {
 	var rep Report
 	affected := make(map[core.SessionID]bool)
 
@@ -89,8 +98,12 @@ func (m *Monitor) Scan() Report {
 			ids[j], ids[j-1] = ids[j-1], ids[j]
 		}
 	}
-	for _, id := range ids {
-		tr, err := m.man.Adapt(id)
+	for i, id := range ids {
+		if ctx.Err() != nil {
+			rep.Skipped += len(ids) - i
+			break
+		}
+		tr, err := m.man.AdaptContext(ctx, id)
 		if err != nil {
 			rep.Failed = append(rep.Failed, id)
 			continue

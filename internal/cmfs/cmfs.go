@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"qosneg/internal/ledger"
 	"qosneg/internal/media"
 	"qosneg/internal/qos"
 	"qosneg/internal/telemetry"
@@ -138,6 +139,22 @@ type Server struct {
 	admitted *telemetry.Counter
 	rejected *telemetry.Counter
 	active   *telemetry.Gauge
+
+	// led, when non-nil, records every successful Reserve/Release in the
+	// resource ledger (leak and double-release detection in tests).
+	led *ledger.Ledger
+}
+
+// SetLedger installs a resource ledger: every successful Reserve posts an
+// acquire, every successful Release a matching release. Only successful
+// operations post — a Release of an unknown reservation already reports an
+// error to the caller, and after a modeled crash such releases are a
+// legitimate lost-message flow, not a bookkeeping bug. A nil ledger
+// detaches.
+func (s *Server) SetLedger(l *ledger.Ledger) {
+	s.mu.Lock()
+	s.led = l
+	s.mu.Unlock()
 }
 
 // Instrument wires the server's admission decisions into a telemetry
@@ -255,6 +272,7 @@ func (s *Server) Reserve(n qos.NetworkQoS) (Reservation, error) {
 	s.streams[r.ID] = r
 	s.admitted.Inc()
 	s.active.Set(int64(len(s.streams)))
+	s.led.Acquire(ledger.KindCMFS, string(s.id), uint64(r.ID))
 	return r, nil
 }
 
@@ -267,6 +285,7 @@ func (s *Server) Release(id ReservationID) error {
 	}
 	delete(s.streams, id)
 	s.active.Set(int64(len(s.streams)))
+	s.led.Release(ledger.KindCMFS, string(s.id), uint64(id))
 	return nil
 }
 

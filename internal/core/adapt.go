@@ -25,13 +25,26 @@ type Transition struct {
 	Position int64 // nanoseconds, JSON-friendly
 }
 
-// Adapt runs the adaptation procedure of Section 4 on a playing session
-// whose current offer is in difficulty: it considers the ordered set of
-// system offers, except the current one, and re-executes the resource
-// commitment step. On success the session transparently switches to the
-// alternate configuration, keeping its playout position. On failure the
-// session is aborted and ErrAdaptationFailed returned.
+// Adapt runs the adaptation procedure with no deadline. It is equivalent to
+// AdaptContext(context.Background(), id); callers that can be canceled — the
+// monitor's scan loop, request handlers — should prefer AdaptContext.
 func (m *Manager) Adapt(id SessionID) (Transition, error) {
+	return m.AdaptContext(context.Background(), id)
+}
+
+// AdaptContext runs the adaptation procedure of Section 4 on a playing
+// session whose current offer is in difficulty: it considers the ordered set
+// of system offers, except the current one, and re-executes the resource
+// commitment step. On success the session transparently switches to the
+// alternate configuration, keeping its playout position. On failure — no
+// alternate committed, or ctx expired mid-procedure — the session is
+// aborted and ErrAdaptationFailed (or the ctx error) returned.
+//
+// The procedure drops the session lock while it commits the alternate, so a
+// concurrent Complete/Abort/Expire can end the session mid-flight. The
+// epoch captured at withdrawal detects that at install time: the fresh
+// commitment is released instead of being leaked onto a terminal session.
+func (m *Manager) AdaptContext(ctx context.Context, id SessionID) (Transition, error) {
 	s, err := m.Session(id)
 	if err != nil {
 		return Transition{}, err
@@ -42,6 +55,13 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 		s.mu.Unlock()
 		return Transition{}, fmt.Errorf("%w: adapt in state %v", ErrBadState, st)
 	}
+	if s.busy {
+		s.mu.Unlock()
+		return Transition{}, fmt.Errorf("%w: adaptation already in flight on session %d", ErrBadState, id)
+	}
+	s.busy = true
+	s.epoch++ // commitment withdrawal is a transition
+	epoch := s.epoch
 	current := s.Current
 	old := s.commit
 	s.commit = commitment{}
@@ -54,10 +74,11 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 	// Stop the presentation: release the troubled configuration first so
 	// surviving capacity can be re-used by the alternate offer.
 	m.release(old)
+	m.hookUnlocked("adapt", id)
 
 	d, err := m.registry.Document(doc)
 	if err != nil {
-		m.Abort(id)
+		m.abortWindow(s, epoch, Playing)
 		return Transition{}, err
 	}
 
@@ -69,14 +90,31 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 			if r.Key() == current.Key() {
 				continue
 			}
-			cm, fail := m.tryCommit(context.Background(), mach, d, u, r)
+			if ctx.Err() != nil {
+				m.abortWindow(s, epoch, Playing)
+				m.adaptFailed(current)
+				return Transition{}, fmt.Errorf("%w: session %d: %w", ErrAdaptationFailed, id, ctx.Err())
+			}
+			cm, fail := m.tryCommit(ctx, mach, d, u, r)
 			if fail != nil {
 				continue
 			}
 			s.mu.Lock()
+			if s.state != Playing || s.epoch != epoch {
+				// A concurrent transition ended the session while we were
+				// committing; don't install resources nothing will release.
+				st := s.state
+				s.busy = false
+				s.mu.Unlock()
+				m.release(cm)
+				m.recordStaleInstall("adapt", id, st)
+				return Transition{}, fmt.Errorf("%w: adapt in state %v", ErrBadState, st)
+			}
 			s.commit = cm
 			s.Current = r
 			s.transition++
+			s.epoch++
+			s.busy = false
 			pos := s.position
 			s.mu.Unlock()
 			m.met.adapt(true)
@@ -90,9 +128,16 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 		}
 	}
 
-	s.mu.Lock()
-	s.state = Aborted
-	s.mu.Unlock()
+	m.abortWindow(s, epoch, Playing)
+	m.adaptFailed(current)
+	if err := ctx.Err(); err != nil {
+		return Transition{}, fmt.Errorf("%w: session %d: %w", ErrAdaptationFailed, id, err)
+	}
+	return Transition{}, fmt.Errorf("%w: session %d", ErrAdaptationFailed, id)
+}
+
+// adaptFailed records a failed adaptation in metrics, spans and stats.
+func (m *Manager) adaptFailed(current offer.Ranked) {
 	m.met.adapt(false)
 	if m.opts.Tracer != nil {
 		m.span(telemetry.Event{Step: telemetry.StepAdaptation, Offer: current.Key(), Status: "failed"})
@@ -100,7 +145,6 @@ func (m *Manager) Adapt(id SessionID) (Transition, error) {
 	m.statsMu.Lock()
 	m.stats.AdaptationFailures++
 	m.statsMu.Unlock()
-	return Transition{}, fmt.Errorf("%w: session %d", ErrAdaptationFailed, id)
 }
 
 // SessionByServerReservation finds the playing or reserved session holding

@@ -8,9 +8,11 @@ import (
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
 	"qosneg/internal/faults"
+	"qosneg/internal/ledger"
 	"qosneg/internal/profile"
 	"qosneg/internal/qos"
 	"qosneg/internal/sim"
+	"qosneg/internal/telemetry"
 	"qosneg/internal/testbed"
 )
 
@@ -58,7 +60,13 @@ func runFaultChaos(t *testing.T, seed int64) {
 		Cooldown:         10 * time.Millisecond,
 		RetryAfter:       time.Millisecond,
 	}
+	reg := telemetry.NewRegistry()
+	opts.Metrics = reg
 	bed := testbed.MustNew(testbed.Spec{Faults: inj, Options: &opts})
+	bed.Ledger.Instrument(reg)
+	bed.Ledger.OnViolation(func(v string) {
+		t.Errorf("seed %d: %s", seed, v)
+	})
 	if _, err := bed.AddNewsArticle("news-1", "Election night", 2*time.Minute); err != nil {
 		t.Fatal(err)
 	}
@@ -164,6 +172,21 @@ func runFaultChaos(t *testing.T, seed int64) {
 	for id, srv := range bed.Servers {
 		if srv.ActiveStreams() != 0 {
 			t.Fatalf("seed %d: server %s leaked %d streams", seed, id, srv.ActiveStreams())
+		}
+	}
+	// The ledger's double-entry view of the same wind-down, and the
+	// telemetry counters the observability surface exports: a sequential
+	// run, even under fault injection, leaks nothing, double-releases
+	// nothing, and never races an unlock window.
+	if err := bed.Ledger.CheckEmpty(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if v := reg.Counter(ledger.MetricLeaked, "").Value(); v != 0 {
+		t.Errorf("seed %d: %s = %d, want 0", seed, ledger.MetricLeaked, v)
+	}
+	for _, procedure := range []string{"adapt", "renegotiate"} {
+		if v := reg.CounterFamily(core.MetricStaleInstalls, "", "procedure").With(procedure).Value(); v != 0 {
+			t.Errorf("seed %d: %s{procedure=%q} = %d, want 0", seed, core.MetricStaleInstalls, procedure, v)
 		}
 	}
 }

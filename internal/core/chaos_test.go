@@ -130,6 +130,14 @@ func runChaos(t *testing.T, seed int64) {
 			t.Fatalf("seed %d: server %s leaked %d streams", seed, id, srv.ActiveStreams())
 		}
 	}
+	// Double-entry view of the same invariant, plus: a single-threaded run
+	// never races the unlock windows, so the epoch guard must never fire.
+	if err := b.led.CheckEmpty(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if got := b.man.Stats().StaleInstalls; got != 0 {
+		t.Fatalf("seed %d: %d stale installs in a sequential run", seed, got)
+	}
 }
 
 func pick(rng *sim.Rand, ids []SessionID) (SessionID, bool) {

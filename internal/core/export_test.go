@@ -1,0 +1,11 @@
+package core
+
+// SetTestHookUnlocked installs f at the start of every unlock window — the
+// point where Adapt/RenegotiateContext have withdrawn the session's
+// commitment and dropped its lock. The lifecycle tests (this package and
+// the core_test stress harness) use it to land concurrent transitions
+// inside the window deterministically; it is compiled into test binaries
+// only.
+func (m *Manager) SetTestHookUnlocked(f func(op string, id SessionID)) {
+	m.testHookUnlocked = f
+}

@@ -186,6 +186,12 @@ type Manager struct {
 	// now is the clock the circuit breaker and latency metrics use; tests
 	// may override it.
 	now func() time.Time
+	// testHookUnlocked, when non-nil, fires at the start of every unlock
+	// window — after a procedure has withdrawn and released a session's
+	// commitment but before it re-locks to install the replacement. The
+	// lifecycle race tests use it to force deterministic interleavings;
+	// it is never set outside tests.
+	testHookUnlocked func(op string, id SessionID)
 
 	// sessMu guards the session table and id counter only; negotiations
 	// never hold it while enumerating, classifying or committing.
@@ -229,6 +235,11 @@ type Stats struct {
 	CommitConstraint int
 	// Quarantines counts circuit-breaker trips.
 	Quarantines int
+	// StaleInstalls counts commitments the epoch guard released instead of
+	// installing: a concurrent transition (abort, time-out, completion)
+	// ended the session while an adaptation or renegotiation was committing
+	// off-lock. Each one is a reservation leak prevented.
+	StaleInstalls int
 	// Revenue accumulates the price of completed sessions, in
 	// milli-dollars: the system only bills for deliveries that finished.
 	Revenue cost.Money
@@ -290,6 +301,43 @@ type negOutcome struct {
 func (m *Manager) trace(step, offerKey, detail string) {
 	if m.opts.Trace != nil {
 		m.opts.Trace(TraceEvent{Step: step, Offer: offerKey, Detail: detail})
+	}
+}
+
+// hookUnlocked fires the test-only unlock-window hook.
+func (m *Manager) hookUnlocked(op string, id SessionID) {
+	if m.testHookUnlocked != nil {
+		m.testHookUnlocked(op, id)
+	}
+}
+
+// abortWindow closes an unlock window that produced no new commitment: the
+// session is aborted unless a concurrent transition already ended it (the
+// epoch guard detects that), and the busy marker is cleared. The caller
+// has already withdrawn and released the old commitment, so there is
+// nothing to free here.
+func (m *Manager) abortWindow(s *Session, epoch uint64, expect SessionState) {
+	s.mu.Lock()
+	if s.state == expect && s.epoch == epoch {
+		s.state = Aborted
+		s.epoch++
+	}
+	s.busy = false
+	s.mu.Unlock()
+}
+
+// recordStaleInstall counts one epoch-guard save: a freshly committed
+// configuration released instead of installed because the session moved on
+// while it was unlocked.
+func (m *Manager) recordStaleInstall(procedure string, id SessionID, st SessionState) {
+	m.met.staleInstall(procedure)
+	m.statsMu.Lock()
+	m.stats.StaleInstalls++
+	m.statsMu.Unlock()
+	if m.tracing() {
+		detail := fmt.Sprintf("session %d reached %v mid-%s; fresh commitment released", id, st, procedure)
+		m.trace("stale-install", "", detail)
+		m.span(telemetry.Event{Step: telemetry.StepCommitment, Status: "stale-install", Detail: detail})
 	}
 }
 
@@ -592,6 +640,12 @@ func (m *Manager) Renegotiate(id SessionID, u profile.UserProfile) (Result, erro
 // the new offer and a fresh choice period, on failure (any non-reserved
 // status) the session is aborted and the Result explains why. A canceled
 // ctx aborts the session and returns the context's error.
+//
+// The procedure commits off-lock, so the choice-period time-out (or a
+// concurrent Reject/Abort) can end the session mid-renegotiation. The
+// epoch guard resolves the race leak-free: the terminal transition wins,
+// the freshly committed resources are released instead of installed, and
+// ErrChoicePeriodExpired (or ErrBadState) is returned.
 func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profile.UserProfile) (Result, error) {
 	s, err := m.Session(id)
 	if err != nil {
@@ -605,18 +659,31 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 		}
 		return Result{}, fmt.Errorf("%w: renegotiate in state %v", ErrBadState, s.state)
 	}
+	if s.busy {
+		s.mu.Unlock()
+		return Result{}, fmt.Errorf("%w: renegotiation or adaptation already in flight on session %d", ErrBadState, id)
+	}
+	// Open the unlock window: withdraw the commitment under the epoch
+	// guard. Every return path below must clear busy.
+	s.busy = true
+	s.epoch++
+	epoch := s.epoch
 	mach := s.Machine
 	docID := s.Document
 	old := s.commit
 	s.commit = commitment{}
 	s.mu.Unlock()
 
+	// Release the old configuration first so the fresh offer can re-use
+	// its capacity.
+	m.release(old)
+	m.hookUnlocked("renegotiate", id)
+
 	doc, err := m.registry.Document(docID)
 	if err != nil {
-		m.Abort(id)
+		m.abortWindow(s, epoch, Reserved)
 		return Result{}, err
 	}
-	m.release(old)
 
 	m.statsMu.Lock()
 	m.stats.Requests++
@@ -627,7 +694,7 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 	}
 	out, err := m.runProcedure(ctx, mach, doc, u)
 	if err != nil {
-		m.Abort(id)
+		m.abortWindow(s, epoch, Reserved)
 		return Result{}, err
 	}
 	if m.met != nil {
@@ -635,9 +702,7 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 	}
 	m.count(out.status)
 	if !out.status.Reserved() {
-		s.mu.Lock()
-		s.state = Aborted
-		s.mu.Unlock()
+		m.abortWindow(s, epoch, Reserved)
 		return Result{
 			Status:     out.status,
 			Offer:      out.localOffer,
@@ -647,11 +712,29 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 		}, nil
 	}
 	s.mu.Lock()
+	if s.state != Reserved || s.epoch != epoch {
+		// A concurrent transition — the choice-period time-out firing
+		// Expire, a Reject, an Abort — ended the session while it was
+		// unlocked. Installing now would strand the fresh reservations on
+		// a terminal session forever; release them instead.
+		expired := s.expired
+		st := s.state
+		s.busy = false
+		s.mu.Unlock()
+		m.release(out.commit)
+		m.recordStaleInstall("renegotiate", id, st)
+		if expired {
+			return Result{}, fmt.Errorf("%w: session %d expired during renegotiation", ErrChoicePeriodExpired, id)
+		}
+		return Result{}, fmt.Errorf("%w: session %d moved to %v during renegotiation", ErrBadState, id, st)
+	}
 	s.Profile = u
 	s.Current = out.chosen
 	s.Ranked = out.ranked
 	s.ChoicePeriod = m.choicePeriodFor(u)
 	s.commit = out.commit
+	s.epoch++
+	s.busy = false
 	if m.met != nil || m.opts.Tracer != nil {
 		s.reservedAt = m.now()
 	}
@@ -808,7 +891,14 @@ func (m *Manager) Confirm(id SessionID) error {
 		}
 		return fmt.Errorf("%w: confirm in state %v", ErrBadState, s.state)
 	}
+	if s.busy {
+		// Mid-renegotiation the session holds no resources to start the
+		// presentation on; confirming would play a configuration that is
+		// being replaced underneath it.
+		return fmt.Errorf("%w: renegotiation in flight on session %d", ErrBadState, id)
+	}
 	s.state = Playing
+	s.epoch++
 	// Step 6's latency: how long the user deliberated before accepting
 	// the reserved configuration.
 	if !s.reservedAt.IsZero() {
@@ -848,6 +938,7 @@ func (m *Manager) expireOrReject(id SessionID, expire bool) error {
 	}
 	s.state = Aborted
 	s.expired = expire
+	s.epoch++
 	cm := s.commit
 	s.commit = commitment{}
 	s.mu.Unlock()
@@ -884,6 +975,7 @@ func (m *Manager) Complete(id SessionID) error {
 		return fmt.Errorf("%w: complete in state %v", ErrBadState, st)
 	}
 	s.state = Completed
+	s.epoch++
 	cm := s.commit
 	s.commit = commitment{}
 	price := s.Current.Total()
@@ -903,11 +995,12 @@ func (m *Manager) Abort(id SessionID) error {
 		return err
 	}
 	s.mu.Lock()
-	if s.state == Completed || s.state == Aborted {
+	if s.state.terminal() {
 		s.mu.Unlock()
 		return nil
 	}
 	s.state = Aborted
+	s.epoch++
 	cm := s.commit
 	s.commit = commitment{}
 	s.mu.Unlock()

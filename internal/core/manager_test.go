@@ -9,6 +9,7 @@ import (
 	"qosneg/internal/client"
 	"qosneg/internal/cmfs"
 	"qosneg/internal/cost"
+	"qosneg/internal/ledger"
 	"qosneg/internal/media"
 	"qosneg/internal/network"
 	"qosneg/internal/offer"
@@ -28,6 +29,7 @@ type bed struct {
 	servers map[media.ServerID]*cmfs.Server
 	mach    client.Machine
 	doc     media.Document
+	led     *ledger.Ledger
 }
 
 func newBed(t *testing.T, serverCfg cmfs.Config, access qos.BitRate) *bed {
@@ -40,14 +42,22 @@ func newBed(t *testing.T, serverCfg cmfs.Config, access qos.BitRate) *bed {
 	if err != nil {
 		t.Fatal(err)
 	}
+	led := ledger.New()
+	led.OnViolation(func(v string) {
+		t.Errorf("ledger violation: %s", v)
+	})
+	net.SetLedger(led)
+	ts := transport.New(net, 3)
+	ts.SetLedger(led)
 	reg := registry.New()
-	man := NewManager(reg, transport.New(net, 3), cost.DefaultPricing(), DefaultOptions())
+	man := NewManager(reg, ts, cost.DefaultPricing(), DefaultOptions())
 	servers := map[media.ServerID]*cmfs.Server{}
 	for _, id := range []media.ServerID{"server-1", "server-2"} {
 		s, err := cmfs.NewServer(id, serverCfg)
 		if err != nil {
 			t.Fatal(err)
 		}
+		s.SetLedger(led)
 		servers[id] = s
 		man.AddServer(s, network.NodeID(id))
 	}
@@ -74,7 +84,7 @@ func newBed(t *testing.T, serverCfg cmfs.Config, access qos.BitRate) *bed {
 	return &bed{
 		reg: reg, net: net, man: man, servers: servers,
 		mach: client.Workstation("client-1", "client-1"),
-		doc:  doc,
+		doc:  doc, led: led,
 	}
 }
 

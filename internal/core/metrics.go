@@ -20,6 +20,7 @@ const (
 	MetricConsecutive     = "qosneg_server_consecutive_failures"
 	MetricAdaptations     = "qosneg_adaptations_total"
 	MetricRevenue         = "qosneg_revenue_millidollars_total"
+	MetricStaleInstalls   = "qosneg_stale_installs_total"
 )
 
 // negMetrics caches the manager's metric series so hot paths record through
@@ -37,6 +38,7 @@ type negMetrics struct {
 	consecutive    *telemetry.GaugeFamily
 	adaptations    *telemetry.CounterFamily
 	revenue        *telemetry.Counter
+	staleInstalls  *telemetry.CounterFamily
 }
 
 // newNegMetrics registers the manager's metrics; nil registry → nil metrics.
@@ -65,6 +67,8 @@ func newNegMetrics(reg *telemetry.Registry) *negMetrics {
 			"Adaptation-procedure runs by result.", "result"),
 		revenue: reg.Counter(MetricRevenue,
 			"Accumulated price of completed sessions, milli-dollars."),
+		staleInstalls: reg.CounterFamily(MetricStaleInstalls,
+			"Commitments released by the epoch guard instead of installed: a concurrent transition ended the session mid-procedure.", "procedure"),
 	}
 	// Pre-resolve the per-step series so stepTimer.lap never takes the
 	// family's map path on the hot path.
@@ -113,6 +117,12 @@ func (n *negMetrics) adapt(ok bool) {
 		n.adaptations.With("ok").Inc()
 	} else {
 		n.adaptations.With("failed").Inc()
+	}
+}
+
+func (n *negMetrics) staleInstall(procedure string) {
+	if n != nil {
+		n.staleInstalls.With(procedure).Inc()
 	}
 }
 

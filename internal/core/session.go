@@ -73,8 +73,23 @@ type Session struct {
 	// and ChoicePeriod when they are rewritten by renegotiation or
 	// adaptation. Lock ordering: Manager.sessMu before Session.mu, never
 	// the reverse.
-	mu         sync.Mutex
-	state      SessionState
+	mu    sync.Mutex
+	state SessionState
+	// epoch is the session's transition counter: every state change and
+	// every commitment install or withdrawal under mu bumps it. Procedures
+	// that drop mu mid-flight (adaptation, renegotiation) capture the
+	// epoch when they withdraw the old commitment and re-validate
+	// (state, epoch) before installing the new one; a mismatch means a
+	// concurrent transition won the race, and the freshly committed
+	// resources are released instead of being installed on a session that
+	// no longer expects them (DESIGN.md, "Session lifecycle").
+	epoch uint64
+	// busy marks an adaptation or renegotiation in flight: the session's
+	// commitment is withdrawn and the procedure is off-lock committing a
+	// replacement. Other long procedures and Confirm refuse while busy;
+	// the terminal transitions (Reject/Expire/Complete/Abort) proceed,
+	// and the epoch guard makes the in-flight install stale.
+	busy       bool
 	position   time.Duration
 	commit     commitment
 	transition int // number of adaptation transitions performed
@@ -91,6 +106,20 @@ func (s *Session) State() SessionState {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state
+}
+
+// Epoch returns the session's transition counter; it increases on every
+// state change and commitment install/withdrawal. Observability and tests
+// use it — equality of two reads brackets a quiescent session.
+func (s *Session) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// terminal reports whether the state is Completed or Aborted.
+func (s SessionState) terminal() bool {
+	return s == Completed || s == Aborted
 }
 
 // Position returns the current playout position.

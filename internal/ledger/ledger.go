@@ -1,0 +1,241 @@
+// Package ledger is the resource ledger behind the lifecycle leak checks:
+// a strict double-entry account of every resource the QoS manager's
+// commitment step acquires — CMFS stream reservations, network bandwidth
+// reservations, transport connections — and every release that balances
+// it. The substrate packages (cmfs, network, transport) carry hooks that
+// post to an installed ledger on every acquire and release, so a test can
+// assert the paper's step-5/step-6 bookkeeping invariant directly:
+//
+//	all sessions terminal  ⇒  the ledger is empty
+//
+// A release with no matching open entry is a violation (a double release,
+// or a release of something never acquired) and is reported immediately
+// through the OnViolation callback — the fail-fast half of the check. The
+// slow half, leak detection, runs at quiescence via CheckEmpty.
+//
+// The ledger is always on in the test beds (package testbed and the core
+// test fixtures install one), cheap enough to leave on everywhere (one
+// mutexed map operation per resource event), and nil-safe: every method on
+// a nil *Ledger is a no-op, so instrumented substrate code needs no guards.
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"qosneg/internal/telemetry"
+)
+
+// Metric names registered by Instrument.
+const (
+	// MetricLeaked counts resources found leaked at a quiescence check or
+	// released twice.
+	MetricLeaked = "qosneg_leaked_reservations_total"
+	// MetricOpen gauges the resources currently held open.
+	MetricOpen = "qosneg_ledger_open_resources"
+)
+
+// Resource kinds the substrate posts.
+const (
+	// KindCMFS is a stream reservation on a continuous-media file server;
+	// Owner is the server id.
+	KindCMFS = "cmfs"
+	// KindNetwork is a path bandwidth reservation; Owner is empty.
+	KindNetwork = "network"
+	// KindTransport is an established transport connection (tracked by its
+	// underlying network reservation id); Owner is empty.
+	KindTransport = "transport"
+)
+
+// Resource identifies one acquirable resource.
+type Resource struct {
+	Kind  string
+	Owner string
+	ID    uint64
+}
+
+// String renders "kind[owner]/id".
+func (r Resource) String() string {
+	if r.Owner != "" {
+		return fmt.Sprintf("%s[%s]/%d", r.Kind, r.Owner, r.ID)
+	}
+	return fmt.Sprintf("%s/%d", r.Kind, r.ID)
+}
+
+// Ledger is the double-entry resource account. It is safe for concurrent
+// use; the zero value is not usable, build one with New. A nil *Ledger is
+// inert.
+type Ledger struct {
+	mu         sync.Mutex
+	open       map[Resource]bool
+	acquires   uint64
+	releases   uint64
+	violations []string
+	onViolate  func(string)
+
+	// Telemetry series, installed by Instrument; nil when uninstrumented.
+	leaked    *telemetry.Counter
+	openGauge *telemetry.Gauge
+}
+
+// New returns an empty ledger.
+func New() *Ledger {
+	return &Ledger{open: make(map[Resource]bool)}
+}
+
+// OnViolation installs a callback invoked synchronously (outside the
+// ledger lock) with a description of each violation as it happens; tests
+// install t.Error-shaped callbacks here to fail fast on double releases.
+func (l *Ledger) OnViolation(f func(string)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.onViolate = f
+	l.mu.Unlock()
+}
+
+// Instrument wires the ledger into a telemetry registry: a counter of
+// detected leaks and violations, and a gauge of currently open resources.
+// A nil registry is a no-op.
+func (l *Ledger) Instrument(reg *telemetry.Registry) {
+	if l == nil || reg == nil {
+		return
+	}
+	leaked := reg.Counter(MetricLeaked,
+		"Resources found leaked (still open at a quiescence check) or released twice.")
+	openGauge := reg.Gauge(MetricOpen,
+		"Resources currently held open in the ledger.")
+	l.mu.Lock()
+	l.leaked, l.openGauge = leaked, openGauge
+	l.openGauge.Set(int64(len(l.open)))
+	l.mu.Unlock()
+}
+
+// Acquire posts one resource acquisition. Acquiring a resource that is
+// already open is a violation (the substrate reused a live id).
+func (l *Ledger) Acquire(kind, owner string, id uint64) {
+	if l == nil {
+		return
+	}
+	r := Resource{Kind: kind, Owner: owner, ID: id}
+	var violation string
+	l.mu.Lock()
+	l.acquires++
+	if l.open[r] {
+		violation = fmt.Sprintf("ledger: double acquire of %s", r)
+		l.violations = append(l.violations, violation)
+		l.leaked.Inc()
+	}
+	l.open[r] = true
+	l.openGauge.Set(int64(len(l.open)))
+	f := l.onViolate
+	l.mu.Unlock()
+	if violation != "" && f != nil {
+		f(violation)
+	}
+}
+
+// Release balances one acquisition. Releasing a resource with no open
+// entry is a violation: a double release, or a release of something never
+// acquired.
+func (l *Ledger) Release(kind, owner string, id uint64) {
+	if l == nil {
+		return
+	}
+	r := Resource{Kind: kind, Owner: owner, ID: id}
+	var violation string
+	l.mu.Lock()
+	l.releases++
+	if !l.open[r] {
+		violation = fmt.Sprintf("ledger: release of %s with no open entry (double release?)", r)
+		l.violations = append(l.violations, violation)
+		l.leaked.Inc()
+	}
+	delete(l.open, r)
+	l.openGauge.Set(int64(len(l.open)))
+	f := l.onViolate
+	l.mu.Unlock()
+	if violation != "" && f != nil {
+		f(violation)
+	}
+}
+
+// Forget drops an open entry without counting it as a violation: the
+// resource ceased to exist through a modeled failure (a server crash
+// losing its admission state), not through an orderly release. The crash
+// path in the substrate calls it so post-crash cleanup does not read as a
+// leak.
+func (l *Ledger) Forget(kind, owner string, id uint64) {
+	if l == nil {
+		return
+	}
+	r := Resource{Kind: kind, Owner: owner, ID: id}
+	l.mu.Lock()
+	if l.open[r] {
+		l.releases++
+		delete(l.open, r)
+		l.openGauge.Set(int64(len(l.open)))
+	}
+	l.mu.Unlock()
+}
+
+// Open returns the number of currently open resources.
+func (l *Ledger) Open() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.open)
+}
+
+// Counts returns the total acquires and releases posted so far.
+func (l *Ledger) Counts() (acquires, releases uint64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.acquires, l.releases
+}
+
+// Violations returns the violation descriptions recorded so far.
+func (l *Ledger) Violations() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.violations...)
+}
+
+// CheckEmpty is the quiescence check: with every session terminal, the
+// ledger must hold no open resource and no recorded violation. It returns
+// an error naming the leaked resources (sorted, bounded) and counts each
+// leak on the instrumented leak counter.
+func (l *Ledger) CheckEmpty() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	var leaks []string
+	for r := range l.open {
+		leaks = append(leaks, r.String())
+	}
+	nviol := len(l.violations)
+	l.leaked.Add(uint64(len(leaks)))
+	l.mu.Unlock()
+	if len(leaks) == 0 && nviol == 0 {
+		return nil
+	}
+	nleaks := len(leaks)
+	sort.Strings(leaks)
+	if nleaks > 8 {
+		leaks = append(leaks[:8], fmt.Sprintf("... and %d more", nleaks-8))
+	}
+	return fmt.Errorf("ledger: %d resources leaked, %d violations: %s",
+		nleaks, nviol, strings.Join(leaks, ", "))
+}

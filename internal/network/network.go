@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"qosneg/internal/ledger"
 	"qosneg/internal/qos"
 	"qosneg/internal/telemetry"
 )
@@ -102,6 +103,19 @@ type Network struct {
 	admitted *telemetry.Counter
 	rejected *telemetry.Counter
 	active   *telemetry.Gauge
+
+	// led, when non-nil, records every Reserve/Release in the resource
+	// ledger. Reservation ids are never reused, so a Release of an unknown
+	// id is posted too — the ledger flags it as a double release.
+	led *ledger.Ledger
+}
+
+// SetLedger installs a resource ledger on the network's reservation state;
+// a nil ledger detaches.
+func (n *Network) SetLedger(l *ledger.Ledger) {
+	n.mu.Lock()
+	n.led = l
+	n.mu.Unlock()
 }
 
 // Instrument wires the network's reservation decisions into a telemetry
@@ -361,6 +375,7 @@ func (n *Network) Reserve(p Path, q qos.NetworkQoS) (Reservation, error) {
 	n.resv[r.ID] = r
 	n.admitted.Inc()
 	n.active.Set(int64(len(n.resv)))
+	n.led.Acquire(ledger.KindNetwork, "", uint64(r.ID))
 	return r, nil
 }
 
@@ -370,6 +385,10 @@ func (n *Network) Release(id ReservationID) error {
 	defer n.mu.Unlock()
 	r, ok := n.resv[id]
 	if !ok {
+		// Ids are never reused: an unknown release is a double release (or
+		// a release of something never granted) — post it so an installed
+		// ledger fails fast.
+		n.led.Release(ledger.KindNetwork, "", uint64(id))
 		return fmt.Errorf("%w: %d", ErrUnknownReservation, id)
 	}
 	for _, lid := range r.Path {
@@ -382,6 +401,7 @@ func (n *Network) Release(id ReservationID) error {
 	}
 	delete(n.resv, id)
 	n.active.Set(int64(len(n.resv)))
+	n.led.Release(ledger.KindNetwork, "", uint64(id))
 	return nil
 }
 

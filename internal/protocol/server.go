@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -139,14 +141,27 @@ func (s *Server) Expired() int {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	dec := json.NewDecoder(conn)
+	// The wire format is one JSON value per line (both ends encode with
+	// json.Encoder). Framing on lines rather than a streaming decoder
+	// means a truncated value — a client dying mid-write, or garbage like
+	// a lone "{" — is answered and the connection closed instead of the
+	// handler blocking forever waiting for the value to complete.
+	r := bufio.NewReader(conn)
 	enc := json.NewEncoder(conn)
 	for {
-		var req Request
-		if err := dec.Decode(&req); err != nil {
-			if err != io.EOF {
-				enc.Encode(Response{Type: MsgError, Error: fmt.Sprintf("bad request: %v", err)})
+		line, err := r.ReadBytes('\n')
+		if len(bytes.TrimSpace(line)) == 0 {
+			if err != nil {
+				return
 			}
+			continue
+		}
+		if err != nil && err != io.EOF {
+			return
+		}
+		var req Request
+		if jerr := json.Unmarshal(line, &req); jerr != nil {
+			enc.Encode(Response{Type: MsgError, Error: fmt.Sprintf("bad request: %v", jerr)})
 			return
 		}
 		if req.Type == MsgWatch {

@@ -14,6 +14,7 @@ import (
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
 	"qosneg/internal/faults"
+	"qosneg/internal/ledger"
 	"qosneg/internal/media"
 	"qosneg/internal/network"
 	"qosneg/internal/qos"
@@ -33,6 +34,10 @@ type Bed struct {
 	// Faults is the injector the bed was assembled with (Spec.Faults),
 	// nil otherwise.
 	Faults *faults.Injector
+	// Ledger double-checks every reservation, connection and release made
+	// through the bed's subsystems. It is always installed: Ledger.CheckEmpty
+	// after winding all sessions down proves nothing leaked.
+	Ledger *ledger.Ledger
 }
 
 // Spec parameterizes New.
@@ -57,6 +62,9 @@ type Spec struct {
 	// manager, so crashes and injected failures can be driven at runtime.
 	// Bed.Servers still holds the raw servers.
 	Faults *faults.Injector
+	// Ledger overrides the resource ledger the bed installs on its
+	// subsystems; nil means New builds a fresh one.
+	Ledger *ledger.Ledger
 }
 
 // New assembles a star-topology prototype: clients client-1..N and servers
@@ -97,14 +105,21 @@ func New(spec Spec) (*Bed, error) {
 	if spec.Pricing != nil {
 		pricing = *spec.Pricing
 	}
+	led := spec.Ledger
+	if led == nil {
+		led = ledger.New()
+	}
 	bed := &Bed{
 		Registry: registry.New(),
 		Network:  net,
 		Servers:  make(map[media.ServerID]*cmfs.Server),
 		Clients:  make(map[client.MachineID]client.Machine),
 		Pricing:  pricing,
+		Ledger:   led,
 	}
+	net.SetLedger(led)
 	bed.Transit = transport.New(net, opts.PathAlternates)
+	bed.Transit.SetLedger(led)
 	bed.Faults = spec.Faults
 	var ts core.Transport = bed.Transit
 	if spec.Faults != nil {
@@ -116,6 +131,7 @@ func New(spec Spec) (*Bed, error) {
 		if err != nil {
 			return nil, err
 		}
+		srv.SetLedger(led)
 		bed.Servers[srv.ID()] = srv
 		var ms core.MediaServer = srv
 		if spec.Faults != nil {

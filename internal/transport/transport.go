@@ -10,7 +10,9 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"qosneg/internal/ledger"
 	"qosneg/internal/network"
 	"qosneg/internal/qos"
 )
@@ -32,6 +34,27 @@ type System struct {
 	net *network.Network
 	// alternates is how many candidate paths Connect tries.
 	alternates int
+
+	// mu guards led only.
+	mu sync.Mutex
+	// led, when non-nil, records every established connection (keyed by
+	// its network reservation id) in the resource ledger. Zero-throughput
+	// connections hold no resource and are not tracked.
+	led *ledger.Ledger
+}
+
+// SetLedger installs a resource ledger on the connection lifecycle; a nil
+// ledger detaches.
+func (s *System) SetLedger(l *ledger.Ledger) {
+	s.mu.Lock()
+	s.led = l
+	s.mu.Unlock()
+}
+
+func (s *System) ledger() *ledger.Ledger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.led
 }
 
 // New builds a transport system over the given network, trying up to
@@ -74,6 +97,7 @@ func (s *System) Connect(src, dst network.NodeID, q qos.NetworkQoS) (Connection,
 			lastErr = err
 			continue
 		}
+		s.ledger().Acquire(ledger.KindTransport, "", uint64(r.ID))
 		return Connection{Reservation: r, Metrics: m, QoS: q}, nil
 	}
 	return Connection{}, fmt.Errorf("%w: %v", ErrUnavailable, lastErr)
@@ -85,5 +109,12 @@ func (s *System) Close(c Connection) error {
 	if c.QoS.Zero() && c.Reservation.ID == 0 {
 		return nil
 	}
-	return s.net.Release(c.Reservation.ID)
+	err := s.net.Release(c.Reservation.ID)
+	if err == nil {
+		// A failed release means the reservation was already gone — the
+		// network-level ledger hook has flagged the double release; posting
+		// the transport entry too would double-count it.
+		s.ledger().Release(ledger.KindTransport, "", uint64(c.Reservation.ID))
+	}
+	return err
 }

@@ -57,6 +57,7 @@ import (
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
 	"qosneg/internal/faults"
+	"qosneg/internal/ledger"
 	"qosneg/internal/media"
 	"qosneg/internal/network"
 	"qosneg/internal/profile"
@@ -194,6 +195,11 @@ type System struct {
 	// Faults is the injector installed by WithFaultInjector, nil
 	// otherwise.
 	Faults *faults.Injector
+	// Ledger is the resource ledger double-checking every CMFS
+	// reservation, network reservation and transport connection the system
+	// makes; Ledger.CheckEmpty after winding all sessions down proves
+	// nothing leaked (see DESIGN.md, "Session lifecycle").
+	Ledger *ledger.Ledger
 	// Retry is the redial/backoff policy System.Dial hands to clients.
 	Retry protocol.RetryPolicy
 	// Metrics is the telemetry registry installed by WithMetrics, nil
@@ -239,6 +245,7 @@ func New(options ...Option) (*System, error) {
 			srv.Instrument(cfg.metrics)
 		}
 		bed.Network.Instrument(cfg.metrics)
+		bed.Ledger.Instrument(cfg.metrics)
 	}
 	store := profile.NewStore()
 	for _, p := range profile.DefaultProfiles() {
@@ -256,6 +263,7 @@ func New(options ...Option) (*System, error) {
 		Profiles: store,
 		Pricing:  bed.Pricing,
 		Faults:   bed.Faults,
+		Ledger:   bed.Ledger,
 		Retry:    cfg.retry,
 		Metrics:  cfg.metrics,
 		Tracer:   cfg.tracer,

@@ -21,6 +21,9 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== lifecycle stress gate (short)"
+go test -race -short -count=1 -run 'TestLifecycleStress' ./internal/core
+
 echo "== telemetry zero-alloc gate"
 go test -run 'TestNoopTelemetryZeroAlloc' ./internal/telemetry ./internal/core
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench cover check experiments examples fmt vet fuzz stress clean
+.PHONY: all build test race bench bench-compare profile cover check experiments examples fmt vet fuzz stress clean
 
 all: build test
 
@@ -36,6 +36,20 @@ race:
 # `./scripts/bench.sh -smoke` for the 1-iteration CI smoke run.
 bench:
 	./scripts/bench.sh
+
+# Rerun the suite and diff it against the committed baseline; fails when the
+# E6 negotiation benchmarks regress more than 10% on their minimum.
+bench-compare:
+	./scripts/bench.sh -compare BENCH_BASELINE.json
+
+# CPU and heap profiles of the cached E6 negotiation hot path, written to
+# ./profiles/ for `go tool pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench '^BenchmarkE6Negotiate$$' -benchtime 2s \
+		-cpuprofile profiles/e6.cpu.pprof -memprofile profiles/e6.mem.pprof \
+		-o profiles/e6.test .
+	@echo "profile: wrote profiles/e6.cpu.pprof and profiles/e6.mem.pprof"
 
 cover:
 	$(GO) test -cover ./...

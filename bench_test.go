@@ -148,6 +148,114 @@ func BenchmarkE6Negotiate(b *testing.B) {
 	}
 }
 
+// BenchmarkE6NegotiateUncached is the cold path: the candidate-set cache is
+// disabled, so every request re-enumerates, re-maps and re-prices. This is
+// the number to hold steady across PRs — cache wins must not be bought with
+// a slower miss path.
+func BenchmarkE6NegotiateUncached(b *testing.B) {
+	sys, err := New(WithClients(1), WithServers(2), WithOfferCache(-1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc, err := sys.AddNewsArticle("news-1", "Bench article", 2*time.Minute)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u := benchProfile()
+	mach, _ := sys.Client("client-1")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Session != nil {
+			if err := sys.Manager.Reject(res.Session.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE6NegotiateCached is the hot path: the candidate-set cache is
+// warmed before the timer starts, so every measured negotiation reuses the
+// memoized static-negotiation result and only classifies and commits.
+func BenchmarkE6NegotiateCached(b *testing.B) {
+	sys, doc := benchSystem(b, 1, 2)
+	u := benchProfile()
+	mach, _ := sys.Client("client-1")
+	// Warm the cache: the first round is the miss that populates it.
+	res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Session != nil {
+		sys.Manager.Reject(res.Session.ID)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.NegotiateWith(context.Background(), mach, doc.ID, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Session != nil {
+			if err := sys.Manager.Reject(res.Session.ID); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	if st := sys.Manager.Stats(); st.OfferCacheHits < st.Requests-2 {
+		b.Fatalf("measured loop was not cache-hot: %d hits over %d requests", st.OfferCacheHits, st.Requests)
+	}
+}
+
+// BenchmarkHotDocumentThroughput is the production shape the cache targets:
+// several clients hammering the same popular article concurrently. The
+// cached and uncached runs differ only in WithOfferCache.
+func BenchmarkHotDocumentThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		cache int
+	}{{"cached", 0}, {"uncached", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			const clients = 4
+			sys, err := New(WithClients(clients), WithServers(2), WithOfferCache(mode.cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			doc, err := sys.AddNewsArticle("news-1", "Bench article", 2*time.Minute)
+			if err != nil {
+				b.Fatal(err)
+			}
+			u := benchProfile()
+			machines := make([]client.Machine, clients)
+			for i := range machines {
+				machines[i], _ = sys.Client(fmt.Sprintf("client-%d", i+1))
+			}
+			var next atomic.Uint64
+			b.SetParallelism(clients)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				mach := machines[int(next.Add(1)-1)%clients]
+				for pb.Next() {
+					res, err := sys.Manager.Negotiate(mach, doc.ID, u)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if res.Session != nil {
+						if err := sys.Manager.Reject(res.Session.ID); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
 // BenchmarkE6NegotiateTelemetry is BenchmarkE6Negotiate with the telemetry
 // subsystem live — a metrics registry recording outcome counters and
 // per-step latency histograms, plus a ring tracer capturing spans. Its

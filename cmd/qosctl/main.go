@@ -215,6 +215,11 @@ func printStats(w io.Writer, st core.Stats, snap telemetry.Snapshot, loads []cor
 		"FAILEDWITHOUTOFFER %d, FAILEDWITHLOCALOFFER %d; adaptations %d (failed %d)\n",
 		st.Requests, st.Succeeded, st.FailedWithOffer, st.FailedTryLater,
 		st.FailedWithoutOffer, st.FailedWithLocalOffer, st.Adaptations, st.AdaptationFailures)
+	if st.OfferCacheHits+st.OfferCacheMisses > 0 {
+		ratio := float64(st.OfferCacheHits) / float64(st.OfferCacheHits+st.OfferCacheMisses)
+		fmt.Fprintf(w, "offer cache: %d hits, %d misses (%.0f%% hit rate), %d invalidations, %d entries\n",
+			st.OfferCacheHits, st.OfferCacheMisses, 100*ratio, st.OfferCacheInvalidations, st.OfferCacheEntries)
+	}
 
 	if len(snap.Counters)+len(snap.Histograms) == 0 {
 		fmt.Fprintln(w, "telemetry: daemon not instrumented (no metrics snapshot)")

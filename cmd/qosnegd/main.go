@@ -47,6 +47,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /debug/vars, /debug/trace and /debug/pprof (empty disables)")
 	traceDepth := flag.Int("trace-depth", 256, "negotiation spans retained for /debug/trace")
 	articles := flag.Int("articles", 5, "synthetic articles to create when no catalog is given")
+	offerCache := flag.Int("offer-cache", 0, "candidate-set cache entries (0 selects the default size, negative disables caching)")
 	healthThreshold := flag.Int("health-threshold", 3, "consecutive commit failures that quarantine a server (0 disables the breaker)")
 	healthCooldown := flag.Duration("health-cooldown", core.DefaultCooldown, "quarantine period after the breaker trips")
 	retryAfter := flag.Duration("retry-after", core.DefaultRetryAfter, "retry hint attached to FAILEDTRYLATER results")
@@ -58,6 +59,7 @@ func main() {
 	flag.Parse()
 
 	opts := core.DefaultOptions()
+	opts.OfferCache = *offerCache
 	opts.Health = core.HealthPolicy{
 		FailureThreshold: *healthThreshold,
 		Cooldown:         *healthCooldown,

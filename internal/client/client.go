@@ -223,6 +223,46 @@ func Workstation(id MachineID, node network.NodeID) Machine {
 	}
 }
 
+// Fingerprint hashes the machine's capability surface — display geometry and
+// color depth, frame-rate ceiling, audio grade and installed decoder set —
+// into a 64-bit value. Two machines with the same fingerprint are guaranteed
+// to produce the same step-1/step-2 decisions for any document, which is what
+// lets the offer cache share candidate sets across users on the same machine
+// class. Identity fields (ID, Node) are deliberately excluded: they never
+// influence variant filtering, and folding them in would defeat the sharing.
+// The decoder fold is order-independent so permuted decoder lists (e.g. from
+// different config files describing the same hardware) still collide.
+func (m Machine) Fingerprint() uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	mix(uint64(m.Display.WidthPx))
+	mix(uint64(m.Display.HeightPx))
+	mix(uint64(m.Display.Color))
+	mix(uint64(m.MaxFrameRate))
+	mix(uint64(m.Audio))
+	var dec uint64
+	for _, f := range m.Decoders {
+		fh := uint64(fnvOffset)
+		for i := 0; i < len(f); i++ {
+			fh ^= uint64(f[i])
+			fh *= fnvPrime
+		}
+		dec ^= fh // XOR: order-independent
+	}
+	mix(dec)
+	mix(uint64(len(m.Decoders)))
+	return h
+}
+
 // Terminal returns a constrained reference machine: grey-scale display,
 // telephone audio, MPEG-1 video only. It triggers the paper's
 // FAILEDWITHLOCALOFFER example (color request on a non-color screen).

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"qosneg/internal/media"
+	"qosneg/internal/offercache"
 	"qosneg/internal/telemetry"
 )
 
@@ -204,6 +205,7 @@ func (m *Manager) recordCommitFailure(f *commitFailure) {
 
 	m.met.serverHealthGauges(f.server, consecutive, until)
 	if tripped {
+		m.exclusionChanged()
 		m.met.quarantineTrip()
 		m.statsMu.Lock()
 		m.stats.Quarantines++
@@ -222,12 +224,19 @@ func (m *Manager) recordCommitFailure(f *commitFailure) {
 func (m *Manager) recordServerSuccess(id media.ServerID) {
 	m.healthMu.Lock()
 	h, ok := m.health[id]
+	restored := false
 	if ok {
 		h.consecutive = 0
+		restored = h.quarantinedUntil.After(m.now())
 		h.quarantinedUntil = time.Time{}
 	}
 	m.healthMu.Unlock()
 	if ok {
+		if restored {
+			// The exclusion world shrank: drop candidate sets filtered
+			// without the restored server's variants.
+			m.exclusionChanged()
+		}
 		m.met.serverHealthGauges(id, 0, time.Time{})
 	}
 }
@@ -249,11 +258,17 @@ func (m *Manager) Quarantined(id media.ServerID) (time.Duration, bool) {
 
 // quarantineExclude snapshots the quarantined-server set as a variant
 // filter for classification, plus the longest remaining cooldown (the
-// RetryAfter hint when quarantine starves the candidate sets). It returns
-// a nil filter when no server is quarantined.
-func (m *Manager) quarantineExclude() (func(media.Variant) bool, time.Duration) {
+// RetryAfter hint when quarantine starves the candidate sets) and the
+// order-independent hash of the set — the exclusion-world component of the
+// offer-cache key. It returns a nil filter and a zero hash when no server
+// is quarantined. Because the hash is computed from the same snapshot the
+// filter closes over, a cached candidate set is always keyed by exactly the
+// exclusion world it was filtered under — including worlds reached by
+// silent time-based quarantine expiry, which simply hash differently.
+func (m *Manager) quarantineExclude() (func(media.Variant) bool, time.Duration, uint64) {
 	m.healthMu.Lock()
 	var quarantined map[media.ServerID]bool
+	var ids []media.ServerID
 	var longest time.Duration
 	now := m.now()
 	for id, h := range m.health {
@@ -262,6 +277,7 @@ func (m *Manager) quarantineExclude() (func(media.Variant) bool, time.Duration) 
 				quarantined = make(map[media.ServerID]bool)
 			}
 			quarantined[id] = true
+			ids = append(ids, id)
 			if rem > longest {
 				longest = rem
 			}
@@ -269,9 +285,26 @@ func (m *Manager) quarantineExclude() (func(media.Variant) bool, time.Duration) 
 	}
 	m.healthMu.Unlock()
 	if quarantined == nil {
-		return nil, 0
+		return nil, 0, 0
 	}
-	return func(v media.Variant) bool { return quarantined[v.Server] }, longest
+	return func(v media.Variant) bool { return quarantined[v.Server] }, longest, offercache.ExclusionHash(ids)
+}
+
+// exclusionChanged runs after a breaker transition (trip or restore): cache
+// entries filtered under any other exclusion world can no longer be looked
+// up — their key has the old hash — so they are dropped promptly instead of
+// aging out of the LRU. Correctness does not depend on this (the key alone
+// guarantees a hit matches the current world); it reclaims capacity and
+// feeds the invalidation counter.
+func (m *Manager) exclusionChanged() {
+	if m.cache == nil {
+		return
+	}
+	_, _, hash := m.quarantineExclude()
+	if n := m.cache.PurgeExclusions(hash); n > 0 {
+		m.met.offerCacheInvalidations(n)
+		m.met.offerCacheEntries(m.cache.Len())
+	}
 }
 
 // healthSnapshot copies a server's breaker state into a ServerLoad row.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"qosneg/internal/media"
 	"qosneg/internal/network"
 	"qosneg/internal/offer"
+	"qosneg/internal/offercache"
 	"qosneg/internal/profile"
 	"qosneg/internal/qos"
 	"qosneg/internal/registry"
@@ -82,6 +84,11 @@ type Options struct {
 	// the consecutive-failure breaker off (hard server-down evidence
 	// still quarantines).
 	Health HealthPolicy
+	// OfferCache sizes the candidate-set cache memoizing the static half
+	// of the procedure (step-2 filtering, §6 mapping, §7 per-variant
+	// pricing) across negotiations: 0 selects offercache.DefaultSize,
+	// negative disables caching.
+	OfferCache int
 	// Metrics, when non-nil, receives the manager's counters, gauges and
 	// latency histograms (outcomes by status, per-step and end-to-end
 	// negotiation latency, commit failures by cause, breaker state,
@@ -178,8 +185,17 @@ type Transport interface {
 type Manager struct {
 	registry  *registry.Registry
 	transport Transport
-	pricing   cost.Pricing
 	opts      Options
+	// cache memoizes per-(document, machine class, guarantee, exclusion
+	// world) candidate sets, generation-checked against the registry and
+	// pricing; nil when Options.OfferCache is negative.
+	cache *offercache.Cache
+	// priceMu guards pricing and pricingGen; SetPricing swaps the tables
+	// and bumps the generation, lazily invalidating memoized candidates
+	// priced under the old tables.
+	priceMu    sync.RWMutex
+	pricing    cost.Pricing
+	pricingGen uint64
 	// met caches the metric series when Options.Metrics is set; nil means
 	// metrics disabled (every recording helper nil-checks).
 	met *negMetrics
@@ -240,6 +256,14 @@ type Stats struct {
 	// ended the session while an adaptation or renegotiation was committing
 	// off-lock. Each one is a reservation leak prevented.
 	StaleInstalls int
+	// Offer-cache counters, snapshotted from the candidate-set cache: how
+	// many negotiations reused a memoized candidate set, how many computed
+	// one fresh, how many entries were dropped because a generation or
+	// exclusion world moved, and how many entries are live.
+	OfferCacheHits          int
+	OfferCacheMisses        int
+	OfferCacheInvalidations int
+	OfferCacheEntries       int
 	// Revenue accumulates the price of completed sessions, in
 	// milli-dollars: the system only bills for deliveries that finished.
 	Revenue cost.Money
@@ -253,7 +277,7 @@ func NewManager(reg *registry.Registry, ts Transport, pricing cost.Pricing, opts
 	if opts.ChoicePeriod <= 0 {
 		opts.ChoicePeriod = 30 * time.Second
 	}
-	return &Manager{
+	m := &Manager{
 		registry:  reg,
 		transport: ts,
 		pricing:   pricing,
@@ -264,6 +288,27 @@ func NewManager(reg *registry.Registry, ts Transport, pricing cost.Pricing, opts
 		health:    make(map[media.ServerID]*serverHealth),
 		sessions:  make(map[SessionID]*Session),
 	}
+	if opts.OfferCache >= 0 {
+		m.cache = offercache.New(opts.OfferCache)
+	}
+	return m
+}
+
+// SetPricing atomically replaces the pricing tables and bumps the pricing
+// generation: every candidate set memoized under the old tables fails its
+// next generation check and is recomputed.
+func (m *Manager) SetPricing(p cost.Pricing) {
+	m.priceMu.Lock()
+	m.pricing = p
+	m.pricingGen++
+	m.priceMu.Unlock()
+}
+
+// pricingSnapshot reads the pricing tables and their generation atomically.
+func (m *Manager) pricingSnapshot() (cost.Pricing, uint64) {
+	m.priceMu.RLock()
+	defer m.priceMu.RUnlock()
+	return m.pricing, m.pricingGen
 }
 
 // AddServer registers a media file server and its network attachment point.
@@ -273,11 +318,20 @@ func (m *Manager) AddServer(s MediaServer, node network.NodeID) {
 	m.servers[s.ID()] = serverEntry{server: s, node: node}
 }
 
-// Stats returns a snapshot of the outcome counters.
+// Stats returns a snapshot of the outcome counters, merged with the offer
+// cache's counters when caching is enabled.
 func (m *Manager) Stats() Stats {
 	m.statsMu.Lock()
-	defer m.statsMu.Unlock()
-	return m.stats
+	st := m.stats
+	m.statsMu.Unlock()
+	if m.cache != nil {
+		cs := m.cache.Stats()
+		st.OfferCacheHits = int(cs.Hits)
+		st.OfferCacheMisses = int(cs.Misses)
+		st.OfferCacheInvalidations = int(cs.Invalidations)
+		st.OfferCacheEntries = int(cs.Entries)
+	}
+	return st
 }
 
 // negOutcome is the result of the session-independent part of the
@@ -341,23 +395,68 @@ func (m *Manager) recordStaleInstall(procedure string, id SessionID, st SessionS
 	}
 }
 
+// candidateSet resolves the step-2 candidate set for one negotiation: a
+// memoized set when the cache holds a coherent entry for (document, machine
+// class, guarantee, exclusion world) at the caller's generations, a fresh
+// Filter pass otherwise, stored for the next request under the generations
+// it was computed from. Every input of the filter/mapping/pricing
+// computation is either part of the cache key or generation-checked, so a
+// hit is byte-equivalent to recomputing.
+func (m *Manager) candidateSet(ctx context.Context, doc media.Document, docGen uint64, mach client.Machine, g cost.Guarantee, exclude func(media.Variant) bool, exclHash uint64) (offer.Candidates, []offer.SystemOffer, error) {
+	pricing, pricingGen := m.pricingSnapshot()
+	workers := m.opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if m.cache == nil {
+		cands, err := offer.Filter(ctx, doc, mach, pricing, g, workers, exclude)
+		return cands, nil, err
+	}
+	key := offercache.Key{Doc: doc.ID, Machine: mach.Fingerprint(), Guarantee: g, Exclusion: exclHash}
+	cands, offers, out := m.cache.Lookup(key, docGen, pricingGen)
+	m.met.offerCacheLookup(out)
+	if out == offercache.Hit {
+		return cands, offers, nil
+	}
+	cands, err := offer.Filter(ctx, doc, mach, pricing, g, workers, exclude)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Memoize the built product too when it is small enough to hold: hits
+	// then skip per-offer materialization entirely, not just the filter.
+	var offers2 []offer.SystemOffer
+	if cands.Offers() <= offercache.MaterializeLimit {
+		if offers2, err = offer.FromCandidates(doc, cands, m.opts.MaxOffers); err != nil {
+			return nil, nil, err
+		}
+	}
+	m.cache.Store(key, docGen, pricingGen, cands, offers2)
+	m.met.offerCacheEntries(m.cache.Len())
+	return cands, offers2, nil
+}
+
 // classify runs steps 2–4: enumeration, classification parameters and
-// classification. Orderer-capable classifiers (all built-ins) run the
-// streaming parallel pipeline, which keeps only the top-K offers; other
-// classifiers materialize the product and sort it.
-// An exclude filter (the quarantine set) drops variants on unhealthy
-// servers before the product is built, so the pipeline exploits the
-// paper's multi-server variant redundancy instead of burning commit
-// attempts on dead replicas.
-func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.Machine, u profile.UserProfile, exclude func(media.Variant) bool, t *stepTimer) ([]offer.Ranked, error) {
+// classification, over the (possibly memoized) candidate set. Orderer-capable
+// classifiers (all built-ins) run the streaming parallel pipeline, which
+// keeps only the top-K offers; other classifiers materialize the product and
+// sort it. An exclude filter (the quarantine set) drops variants on
+// unhealthy servers before the product is built, so the pipeline exploits
+// the paper's multi-server variant redundancy instead of burning commit
+// attempts on dead replicas; exclHash names that exclusion world in the
+// cache key.
+func (m *Manager) classify(ctx context.Context, doc media.Document, docGen uint64, mach client.Machine, u profile.UserProfile, exclude func(media.Variant) bool, exclHash uint64, t *stepTimer) ([]offer.Ranked, error) {
+	cands, prebuilt, err := m.candidateSet(ctx, doc, docGen, mach, u.Desired.Cost.Guarantee, exclude, exclHash)
+	if err != nil {
+		t.lap(telemetry.StepCompatibilityCheck)
+		return nil, err
+	}
 	if orderer, ok := m.opts.Classifier.(offer.Orderer); ok {
-		ranked, err := offer.EnumerateTopK(ctx, doc, mach, m.pricing, u, offer.PipelineOptions{
+		ranked, err := offer.TopKFromCandidates(ctx, doc, cands, u, offer.PipelineOptions{
 			MaxOffers: m.opts.MaxOffers,
-			Guarantee: u.Desired.Cost.Guarantee,
 			Workers:   m.opts.Concurrency,
 			TopK:      m.opts.topK(),
 			Orderer:   orderer,
-			Exclude:   exclude,
+			Prebuilt:  prebuilt,
 		})
 		// The fused pipeline performs steps 2-4 in one streaming pass, so
 		// a single classification lap covers compatibility checking,
@@ -365,16 +464,14 @@ func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.
 		t.lap(telemetry.StepClassification)
 		return ranked, err
 	}
-	offers, err := offer.Enumerate(doc, mach, m.pricing, offer.EnumerateOptions{
-		MaxOffers: m.opts.MaxOffers,
-		Guarantee: u.Desired.Cost.Guarantee,
-		Workers:   m.opts.Concurrency,
-		Exclude:   exclude,
-	})
-	t.lap(telemetry.StepCompatibilityCheck)
-	if err != nil {
-		return nil, err
+	offers := prebuilt
+	if offers == nil {
+		if offers, err = offer.FromCandidates(doc, cands, m.opts.MaxOffers); err != nil {
+			t.lap(telemetry.StepCompatibilityCheck)
+			return nil, err
+		}
 	}
+	t.lap(telemetry.StepCompatibilityCheck)
 	ranked := offer.Rank(offers, u)
 	t.lap(telemetry.StepClassificationParams)
 	m.opts.Classifier.Sort(ranked)
@@ -382,8 +479,10 @@ func (m *Manager) classify(ctx context.Context, doc media.Document, mach client.
 	return ranked, nil
 }
 
-// runProcedure executes steps 1–5 of Section 4.
-func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc media.Document, u profile.UserProfile) (negOutcome, error) {
+// runProcedure executes steps 1–5 of Section 4. docGen is the registry
+// generation doc was snapshotted at; the offer cache validates entries
+// against it.
+func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc media.Document, docGen uint64, u profile.UserProfile) (negOutcome, error) {
 	t := m.stepTimer()
 	// Step 1: static local negotiation.
 	if violations := mach.CheckLocal(u.Desired); len(violations) > 0 {
@@ -407,8 +506,8 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 	// classification parameters and classification, on the streaming
 	// parallel pipeline. Variants on quarantined servers are excluded up
 	// front: the breaker already has evidence they cannot commit.
-	exclude, quarRemain := m.quarantineExclude()
-	ranked, err := m.classify(ctx, doc, mach, u, exclude, &t)
+	exclude, quarRemain, exclHash := m.quarantineExclude()
+	ranked, err := m.classify(ctx, doc, docGen, mach, u, exclude, exclHash, &t)
 	if err != nil {
 		var nv *offer.NoVariantError
 		if errors.As(err, &nv) {
@@ -573,7 +672,7 @@ func (m *Manager) Negotiate(mach client.Machine, docID media.DocumentID, u profi
 // Canceling ctx aborts the pipeline between stages and rolls back any
 // partially committed resources; the context's error is returned.
 func (m *Manager) NegotiateContext(ctx context.Context, mach client.Machine, docID media.DocumentID, u profile.UserProfile) (Result, error) {
-	doc, err := m.registry.Document(docID)
+	doc, docGen, err := m.registry.Snapshot(docID)
 	if err != nil {
 		return Result{}, err
 	}
@@ -585,7 +684,7 @@ func (m *Manager) NegotiateContext(ctx context.Context, mach client.Machine, doc
 	if m.met != nil {
 		begin = m.now()
 	}
-	out, err := m.runProcedure(ctx, mach, doc, u)
+	out, err := m.runProcedure(ctx, mach, doc, docGen, u)
 	if err != nil {
 		return Result{}, err
 	}
@@ -679,7 +778,7 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 	m.release(old)
 	m.hookUnlocked("renegotiate", id)
 
-	doc, err := m.registry.Document(docID)
+	doc, docGen, err := m.registry.Snapshot(docID)
 	if err != nil {
 		m.abortWindow(s, epoch, Reserved)
 		return Result{}, err
@@ -692,7 +791,7 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 	if m.met != nil {
 		begin = m.now()
 	}
-	out, err := m.runProcedure(ctx, mach, doc, u)
+	out, err := m.runProcedure(ctx, mach, doc, docGen, u)
 	if err != nil {
 		m.abortWindow(s, epoch, Reserved)
 		return Result{}, err
@@ -833,7 +932,9 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 		}
 		cm.conns = append(cm.conns, conn)
 		m.recordServerSuccess(sid)
-		m.trace("choice-committed", r.Key(), string(ch.Monomedia))
+		if m.tracing() {
+			m.trace("choice-committed", r.Key(), string(ch.Monomedia))
+		}
 		if d := conn.Metrics.Delay + entry.server.Config().RoundLength; d > startDelay {
 			startDelay = d
 		}
@@ -1103,5 +1204,6 @@ func (m *Manager) Invoice(id SessionID) (cost.Invoice, error) {
 		})
 	}
 	guarantee := s.Profile.Desired.Cost.Guarantee
-	return m.pricing.Invoice(string(doc.ID), cost.Money(doc.CopyrightFee), guarantee, labels, items), nil
+	pricing, _ := m.pricingSnapshot()
+	return pricing.Invoice(string(doc.ID), cost.Money(doc.CopyrightFee), guarantee, labels, items), nil
 }

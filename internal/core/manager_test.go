@@ -34,6 +34,11 @@ type bed struct {
 
 func newBed(t *testing.T, serverCfg cmfs.Config, access qos.BitRate) *bed {
 	t.Helper()
+	return newBedOpts(t, serverCfg, access, DefaultOptions())
+}
+
+func newBedOpts(t *testing.T, serverCfg cmfs.Config, access qos.BitRate, opts Options) *bed {
+	t.Helper()
 	net, err := network.BuildStar(network.StarSpec{
 		Clients:        []network.NodeID{"client-1"},
 		Servers:        []network.NodeID{"server-1", "server-2"},
@@ -50,7 +55,7 @@ func newBed(t *testing.T, serverCfg cmfs.Config, access qos.BitRate) *bed {
 	ts := transport.New(net, 3)
 	ts.SetLedger(led)
 	reg := registry.New()
-	man := NewManager(reg, ts, cost.DefaultPricing(), DefaultOptions())
+	man := NewManager(reg, ts, cost.DefaultPricing(), opts)
 	servers := map[media.ServerID]*cmfs.Server{}
 	for _, id := range []media.ServerID{"server-1", "server-2"} {
 		s, err := cmfs.NewServer(id, serverCfg)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"qosneg/internal/media"
+	"qosneg/internal/offercache"
 	"qosneg/internal/telemetry"
 )
 
@@ -21,6 +22,11 @@ const (
 	MetricAdaptations     = "qosneg_adaptations_total"
 	MetricRevenue         = "qosneg_revenue_millidollars_total"
 	MetricStaleInstalls   = "qosneg_stale_installs_total"
+	// Offer-cache series: candidate-set memoization traffic and occupancy.
+	MetricOfferCacheHits          = "qosneg_offercache_hits_total"
+	MetricOfferCacheMisses        = "qosneg_offercache_misses_total"
+	MetricOfferCacheInvalidations = "qosneg_offercache_invalidations_total"
+	MetricOfferCacheEntries       = "qosneg_offercache_entries"
 )
 
 // negMetrics caches the manager's metric series so hot paths record through
@@ -39,6 +45,11 @@ type negMetrics struct {
 	adaptations    *telemetry.CounterFamily
 	revenue        *telemetry.Counter
 	staleInstalls  *telemetry.CounterFamily
+
+	cacheHits          *telemetry.Counter
+	cacheMisses        *telemetry.Counter
+	cacheInvalidations *telemetry.Counter
+	cacheEntries       *telemetry.Gauge
 }
 
 // newNegMetrics registers the manager's metrics; nil registry → nil metrics.
@@ -69,6 +80,14 @@ func newNegMetrics(reg *telemetry.Registry) *negMetrics {
 			"Accumulated price of completed sessions, milli-dollars."),
 		staleInstalls: reg.CounterFamily(MetricStaleInstalls,
 			"Commitments released by the epoch guard instead of installed: a concurrent transition ended the session mid-procedure.", "procedure"),
+		cacheHits: reg.Counter(MetricOfferCacheHits,
+			"Negotiations served from a memoized candidate set."),
+		cacheMisses: reg.Counter(MetricOfferCacheMisses,
+			"Negotiations that computed their candidate set fresh (includes stale drops)."),
+		cacheInvalidations: reg.Counter(MetricOfferCacheInvalidations,
+			"Cached candidate sets dropped because a document, pricing or exclusion generation moved."),
+		cacheEntries: reg.Gauge(MetricOfferCacheEntries,
+			"Live candidate-set cache entries."),
 	}
 	// Pre-resolve the per-step series so stepTimer.lap never takes the
 	// family's map path on the hot path.
@@ -123,6 +142,36 @@ func (n *negMetrics) adapt(ok bool) {
 func (n *negMetrics) staleInstall(procedure string) {
 	if n != nil {
 		n.staleInstalls.With(procedure).Inc()
+	}
+}
+
+// offerCacheLookup records one cache consultation. A stale entry counts as
+// both a miss (the set is recomputed) and an invalidation (a generation
+// moved underneath the entry).
+func (n *negMetrics) offerCacheLookup(out offercache.Outcome) {
+	if n == nil {
+		return
+	}
+	switch out {
+	case offercache.Hit:
+		n.cacheHits.Inc()
+	case offercache.Miss:
+		n.cacheMisses.Inc()
+	case offercache.Stale:
+		n.cacheMisses.Inc()
+		n.cacheInvalidations.Inc()
+	}
+}
+
+func (n *negMetrics) offerCacheInvalidations(k int) {
+	if n != nil && k > 0 {
+		n.cacheInvalidations.Add(uint64(k))
+	}
+}
+
+func (n *negMetrics) offerCacheEntries(k int) {
+	if n != nil {
+		n.cacheEntries.Set(int64(k))
 	}
 }
 

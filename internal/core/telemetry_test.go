@@ -158,3 +158,44 @@ func TestNoopTelemetryZeroAlloc(t *testing.T) {
 		t.Fatalf("disabled-telemetry hot path allocated %.1f per run, want 0", allocs)
 	}
 }
+
+// TestCachedNegotiateAllocBound pins the allocation count of a full cached
+// negotiate-and-release cycle (telemetry disabled, candidate set memoized).
+// The bound is deliberately loose — it exists to catch an accidental return
+// of the eager fmt.Sprintf call sites or a cache regression that silently
+// re-enumerates per request, either of which roughly doubles the count.
+func TestCachedNegotiateAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short race beds")
+	}
+	b := defaultBed(t)
+	// Warm the cache and the lazy substrate (session table, path caches).
+	for i := 0; i < 3; i++ {
+		res, err := b.man.Negotiate(b.mach, "news-1", tvProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Succeeded {
+			t.Fatalf("status = %v (%s)", res.Status, res.Reason)
+		}
+		windDown(t, b.man, res, 0)
+	}
+	hitsBefore := b.man.Stats().OfferCacheHits
+	const runs = 100
+	allocs := testing.AllocsPerRun(runs, func() {
+		res, err := b.man.Negotiate(b.mach, "news-1", tvProfile())
+		if err != nil || res.Session == nil {
+			t.Fatalf("negotiate: %v (%+v)", err, res.Status)
+		}
+		if err := b.man.Reject(res.Session.ID); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := b.man.Stats().OfferCacheHits; got < hitsBefore+runs {
+		t.Fatalf("measured loop was not cache-hot: hits %d -> %d", hitsBefore, got)
+	}
+	const maxAllocs = 100 // measured ~56 on the reference container; headroom for GC noise
+	if allocs > maxAllocs {
+		t.Fatalf("cached negotiate+reject allocated %.1f per run, want <= %d", allocs, maxAllocs)
+	}
+}

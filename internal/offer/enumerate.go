@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 
 	"qosneg/internal/client"
@@ -110,6 +111,10 @@ func Filter(ctx context.Context, doc media.Document, m client.Machine, pricing c
 	filterOne := func(i int) {
 		mono := doc.Monomedia[i]
 		continuous := mono.Kind.Continuous()
+		// Most variants survive and most are not scalable, so the variant
+		// count is the right capacity hint; scalable expansion may still
+		// grow the slice, rarely.
+		cands[i] = make([]Candidate, 0, len(mono.Variants))
 		for _, v := range mono.Variants {
 			for _, layer := range media.ScalableLayers(v) {
 				if !m.CanDecode(layer) {
@@ -180,9 +185,14 @@ func checkProduct(cands Candidates, maxOffers int) (int, error) {
 func buildOffer(doc media.Document, cands Candidates, idx []int, copyright cost.Money) SystemOffer {
 	o := SystemOffer{Document: doc.ID, Choices: make([]Choice, len(idx))}
 	b := cost.Breakdown{Copyright: copyright, Total: copyright}
+	var key strings.Builder
 	for i, j := range idx {
-		c := cands[i][j]
+		c := &cands[i][j]
 		o.Choices[i] = Choice{Monomedia: doc.Monomedia[i].ID, Variant: c.Variant}
+		if i > 0 {
+			key.WriteByte('+')
+		}
+		key.WriteString(string(c.Variant.ID))
 		if c.Continuous {
 			b.Network = append(b.Network, c.NetworkCost)
 			b.Server = append(b.Server, c.ServerCost)
@@ -190,6 +200,10 @@ func buildOffer(doc media.Document, cands Candidates, idx []int, copyright cost.
 		}
 	}
 	o.Cost = b
+	// Fill the Key() cache here, where the choice order is already in hand:
+	// the classification comparators tie-break on Key() and would otherwise
+	// re-join the variant ids on every comparison.
+	o.key = key.String()
 	return o
 }
 
@@ -256,7 +270,15 @@ func Enumerate(doc media.Document, m client.Machine, pricing cost.Pricing, opts 
 	if err != nil {
 		return nil, err
 	}
-	total, err := checkProduct(cands, maxOffersOrDefault(opts.MaxOffers))
+	return FromCandidates(doc, cands, opts.MaxOffers)
+}
+
+// FromCandidates materializes the feasible system offers from an
+// already-filtered candidate set: Enumerate minus the step-2 filter. The
+// offer cache hands memoized candidates straight here, skipping the
+// per-request decode/map/price work entirely.
+func FromCandidates(doc media.Document, cands Candidates, maxOffers int) ([]SystemOffer, error) {
+	total, err := checkProduct(cands, maxOffersOrDefault(maxOffers))
 	if err != nil {
 		return nil, err
 	}

@@ -28,6 +28,11 @@ type SystemOffer struct {
 	Document media.DocumentID `json:"document"`
 	Choices  []Choice         `json:"choices"`
 	Cost     cost.Breakdown   `json:"cost"`
+	// key caches Key()'s join. The classification comparators tie-break on
+	// Key() and may call it O(K log K) times per offer; buildOffer fills the
+	// cache once so ties cost no allocation. Offers built by hand or decoded
+	// from JSON have key == "" and fall back to computing.
+	key string
 }
 
 // Total is the cost the user would be charged for this offer.
@@ -47,8 +52,17 @@ func (o SystemOffer) Settings() []qos.Setting {
 // choice order. Classification uses it as the final tie-breaker and the
 // adaptation procedure uses it to exclude the offer currently in trouble.
 func (o SystemOffer) Key() string {
-	parts := make([]string, len(o.Choices))
-	for i, c := range o.Choices {
+	if o.key != "" || len(o.Choices) == 0 {
+		return o.key
+	}
+	return computeKey(o.Choices)
+}
+
+// computeKey joins the chosen variant ids; Key()'s slow path for offers whose
+// cache was not filled (hand-built literals, JSON round-trips).
+func computeKey(choices []Choice) string {
+	parts := make([]string, len(choices))
+	for i, c := range choices {
 		parts[i] = string(c.Variant.ID)
 	}
 	return strings.Join(parts, "+")

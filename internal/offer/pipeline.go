@@ -38,6 +38,13 @@ type PipelineOptions struct {
 	// Exclude, when non-nil, drops variants for which it returns true
 	// before the product is built (the QoS manager's server quarantine).
 	Exclude func(media.Variant) bool
+	// Prebuilt, when non-nil, is the materialized cartesian product of the
+	// candidate set in lexicographic (Walk) order — FromCandidates' output,
+	// typically memoized by the offer cache. Scoring then reuses Prebuilt[n]
+	// instead of materializing offer n, which removes the per-offer
+	// allocation work from cache-hot negotiations. The offers are shared by
+	// reference and must be treated as immutable.
+	Prebuilt []SystemOffer
 }
 
 // candidateStats is the profile-dependent half of a candidate's
@@ -78,7 +85,7 @@ func rankCandidates(cands Candidates, u profile.UserProfile) [][]candidateStats 
 // the collector, scoring each from the precomputed stats and materializing
 // only offers that can still enter the top K. It checks ctx periodically
 // and returns its error when canceled.
-func collectRange(ctx context.Context, doc media.Document, cands Candidates, stats [][]candidateStats, u profile.UserProfile, orderer Orderer, tk *TopK, lo, hi int) error {
+func collectRange(ctx context.Context, doc media.Document, cands Candidates, stats [][]candidateStats, prebuilt []SystemOffer, u profile.UserProfile, orderer Orderer, tk *TopK, lo, hi int) error {
 	if lo >= hi {
 		return nil
 	}
@@ -122,8 +129,14 @@ func collectRange(ctx context.Context, doc media.Document, cands Candidates, sta
 			QoSImportance: qImp,
 		}
 		if !tk.Full() || !orderer.Less(tk.Worst(), probe) {
+			var o SystemOffer
+			if prebuilt != nil {
+				o = prebuilt[n]
+			} else {
+				o = buildOffer(doc, cands, idx, copyright)
+			}
 			tk.Add(Ranked{
-				SystemOffer:   buildOffer(doc, cands, idx, copyright),
+				SystemOffer:   o,
 				Status:        status,
 				OIF:           oif,
 				QoSImportance: qImp,
@@ -148,10 +161,6 @@ const smallProduct = 2048
 // Errors: *NoVariantError (some monomedia undecodable), ErrTooManyOffers
 // (product above MaxOffers), or ctx's error when canceled mid-stream.
 func EnumerateTopK(ctx context.Context, doc media.Document, mach client.Machine, pricing cost.Pricing, u profile.UserProfile, opts PipelineOptions) ([]Ranked, error) {
-	orderer := opts.Orderer
-	if orderer == nil {
-		orderer = SNSPrimary{}
-	}
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -160,6 +169,34 @@ func EnumerateTopK(ctx context.Context, doc media.Document, mach client.Machine,
 	if err != nil {
 		return nil, err
 	}
+	return TopKFromCandidates(ctx, doc, cands, u, opts)
+}
+
+// topKPool recycles collectors across negotiations. A collector's backing
+// array survives Put/Get, so a steady-state workload with a stable TopK bound
+// stops allocating heaps entirely.
+var topKPool = sync.Pool{New: func() any { return new(TopK) }}
+
+func getTopK(k int, o Orderer, capHint int) *TopK {
+	t := topKPool.Get().(*TopK)
+	t.Reset(k, o, capHint)
+	return t
+}
+
+// TopKFromCandidates runs stages 2–3 of the pipeline — scoring and bounded
+// classification — on an already-filtered candidate set: EnumerateTopK minus
+// the step-2 filter. This is the entry point the offer cache feeds memoized
+// candidates into; opts.Exclude is ignored (exclusion is part of the cache
+// key and was applied when the candidates were built).
+func TopKFromCandidates(ctx context.Context, doc media.Document, cands Candidates, u profile.UserProfile, opts PipelineOptions) ([]Ranked, error) {
+	orderer := opts.Orderer
+	if orderer == nil {
+		orderer = SNSPrimary{}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	total, err := checkProduct(cands, maxOffersOrDefault(opts.MaxOffers))
 	if err != nil {
 		return nil, err
@@ -167,11 +204,14 @@ func EnumerateTopK(ctx context.Context, doc media.Document, mach client.Machine,
 	stats := rankCandidates(cands, u)
 
 	if total < smallProduct || workers == 1 {
-		tk := NewTopK(opts.TopK, orderer)
-		if err := collectRange(ctx, doc, cands, stats, u, orderer, tk, 0, total); err != nil {
+		tk := getTopK(opts.TopK, orderer, total)
+		if err := collectRange(ctx, doc, cands, stats, opts.Prebuilt, u, orderer, tk, 0, total); err != nil {
+			topKPool.Put(tk)
 			return nil, err
 		}
-		return tk.Sorted(), nil
+		out := tk.Sorted()
+		topKPool.Put(tk)
+		return out, nil
 	}
 
 	collectors := make([]*TopK, workers)
@@ -179,22 +219,28 @@ func EnumerateTopK(ctx context.Context, doc media.Document, mach client.Machine,
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		lo, hi := total*w/workers, total*(w+1)/workers
-		collectors[w] = NewTopK(opts.TopK, orderer)
+		collectors[w] = getTopK(opts.TopK, orderer, hi-lo)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			errs[w] = collectRange(ctx, doc, cands, stats, u, orderer, collectors[w], lo, hi)
+			errs[w] = collectRange(ctx, doc, cands, stats, opts.Prebuilt, u, orderer, collectors[w], lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			for _, tk := range collectors {
+				topKPool.Put(tk)
+			}
 			return nil, err
 		}
 	}
 	merged := collectors[0]
 	for _, tk := range collectors[1:] {
 		merged.Merge(tk)
+		topKPool.Put(tk)
 	}
-	return merged.Sorted(), nil
+	out := merged.Sorted()
+	topKPool.Put(merged)
+	return out, nil
 }

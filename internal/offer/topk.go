@@ -23,11 +23,32 @@ type TopK struct {
 // NewTopK builds a collector keeping the k best offers under the orderer's
 // ordering; k <= 0 keeps everything.
 func NewTopK(k int, o Orderer) *TopK {
-	t := &TopK{k: k, less: o.Less}
-	if k > 0 {
-		t.items = make([]Ranked, 0, k)
-	}
+	t := &TopK{}
+	t.Reset(k, o, k)
 	return t
+}
+
+// Reset reinitializes the collector for reuse (the pipeline pools them via
+// sync.Pool). capHint is how many offers the caller will feed at most — the
+// worker's index-range size — so the heap backing array is allocated once at
+// its final size: min(k, capHint) for a bounded collector (it never holds
+// more than k), capHint for an unbounded one (it holds everything).
+func (t *TopK) Reset(k int, o Orderer, capHint int) {
+	t.k = k
+	t.less = o.Less
+	if k > 0 && (capHint <= 0 || capHint > k) {
+		capHint = k
+	}
+	if cap(t.items) < capHint {
+		t.items = make([]Ranked, 0, capHint)
+		return
+	}
+	// Reuse the backing array; drop the stale offers so a pooled collector
+	// does not pin the previous negotiation's strings and slices.
+	for i := range t.items {
+		t.items[i] = Ranked{}
+	}
+	t.items = t.items[:0]
 }
 
 // Len returns how many offers are currently kept.

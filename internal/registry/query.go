@@ -31,8 +31,9 @@ type VariantQuery struct {
 }
 
 // matches reports whether a variant of a monomedia with the given kind
-// passes the query.
-func (q VariantQuery) matches(kind qos.MediaKind, v media.Variant) bool {
+// passes the query. It takes the variant by pointer so the catalog scan
+// never copies the (multi-word) variant struct per candidate.
+func (q *VariantQuery) matches(kind qos.MediaKind, v *media.Variant) bool {
 	if q.KindSet && kind != q.Kind {
 		return false
 	}
@@ -68,17 +69,36 @@ type Hit struct {
 }
 
 // FindVariants returns every variant in the catalog matching the query, in
-// document/monomedia/variant order.
+// document/monomedia/variant order. The scan counts matches first and
+// allocates the result slice exactly once; the filter loops index into the
+// catalog instead of copying each variant by value.
 func (r *Registry) FindVariants(q VariantQuery) []Hit {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	var out []Hit
-	for _, id := range r.listLocked() {
+	ids := r.listLocked()
+	n := 0
+	for _, id := range ids {
 		d := r.docs[id]
-		for _, m := range d.Monomedia {
-			for _, v := range m.Variants {
-				if q.matches(m.Kind, v) {
-					out = append(out, Hit{Document: d.ID, Monomedia: m.ID, Variant: v})
+		for mi := range d.Monomedia {
+			m := &d.Monomedia[mi]
+			for vi := range m.Variants {
+				if q.matches(m.Kind, &m.Variants[vi]) {
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Hit, 0, n)
+	for _, id := range ids {
+		d := r.docs[id]
+		for mi := range d.Monomedia {
+			m := &d.Monomedia[mi]
+			for vi := range m.Variants {
+				if q.matches(m.Kind, &m.Variants[vi]) {
+					out = append(out, Hit{Document: d.ID, Monomedia: m.ID, Variant: m.Variants[vi]})
 				}
 			}
 		}
@@ -92,18 +112,23 @@ func (r *Registry) FindVariants(q VariantQuery) []Hit {
 func (r *Registry) DocumentsWithVariant(q VariantQuery) []media.DocumentID {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	var out []media.DocumentID
-	for _, id := range r.listLocked() {
+	ids := r.listLocked()
+	out := make([]media.DocumentID, 0, len(ids))
+	for _, id := range ids {
 		d := r.docs[id]
 	doc:
-		for _, m := range d.Monomedia {
-			for _, v := range m.Variants {
-				if q.matches(m.Kind, v) {
+		for mi := range d.Monomedia {
+			m := &d.Monomedia[mi]
+			for vi := range m.Variants {
+				if q.matches(m.Kind, &m.Variants[vi]) {
 					out = append(out, id)
 					break doc
 				}
 			}
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }

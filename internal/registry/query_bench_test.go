@@ -1,0 +1,73 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qosneg/internal/media"
+	"qosneg/internal/qos"
+)
+
+// benchCatalog builds a catalog of synthetic articles large enough that the
+// scan cost dominates lock overhead: docs articles × (4 video + 2 audio)
+// variants spread over two servers.
+func benchCatalog(b *testing.B, docs int) *Registry {
+	b.Helper()
+	r := New()
+	for i := 0; i < docs; i++ {
+		d := media.BuildNewsArticle(media.NewsArticleSpec{
+			ID:       media.DocumentID(fmt.Sprintf("news-%d", i)),
+			Title:    fmt.Sprintf("Article %d", i),
+			Duration: 2 * time.Minute,
+			Servers:  []media.ServerID{"server-1", "server-2"},
+			VideoQualities: []qos.VideoQoS{
+				{Color: qos.Color, FrameRate: 25, Resolution: qos.TVResolution},
+				{Color: qos.Color, FrameRate: 15, Resolution: qos.TVResolution},
+				{Color: qos.Grey, FrameRate: 25, Resolution: qos.TVResolution},
+				{Color: qos.BlackWhite, FrameRate: 15, Resolution: qos.TVResolution},
+			},
+			AudioQualities: []qos.AudioQoS{
+				{Grade: qos.CDQuality, Language: qos.English},
+				{Grade: qos.TelephoneQuality, Language: qos.English},
+			},
+		})
+		if err := r.Add(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return r
+}
+
+// BenchmarkFindVariants measures the catalog scan behind the manager's
+// step 2–3 pre-filter: the two-pass exact-size allocation and the by-pointer
+// match loop are what this PR optimized.
+func BenchmarkFindVariants(b *testing.B) {
+	r := benchCatalog(b, 64)
+	q := VariantQuery{
+		Kind: qos.Video, KindSet: true,
+		Formats: []media.Format{media.MPEG1},
+		Server:  "server-1",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hits := r.FindVariants(q); len(hits) == 0 {
+			b.Fatal("query matched nothing")
+		}
+	}
+}
+
+// BenchmarkDocumentsWithVariant measures the article-list query ("which
+// documents can this machine play").
+func BenchmarkDocumentsWithVariant(b *testing.B) {
+	r := benchCatalog(b, 64)
+	q := VariantQuery{Kind: qos.Audio, KindSet: true, Formats: []media.Format{media.MPEG1Audio}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ids := r.DocumentsWithVariant(q); len(ids) == 0 {
+			b.Fatal("query matched nothing")
+		}
+	}
+}

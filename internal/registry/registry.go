@@ -29,11 +29,20 @@ var ErrNotFound = errors.New("registry: not found")
 type Registry struct {
 	mu   sync.RWMutex
 	docs map[media.DocumentID]media.Document
+	// gen is a monotonic mutation counter; every mutation stamps the
+	// affected documents' entries in gens with a fresh value. The offer
+	// cache keys candidate sets by it, so a document update (or a
+	// remove+re-add cycle) is always visible as a generation change.
+	gen  uint64
+	gens map[media.DocumentID]uint64
 }
 
 // New returns an empty registry.
 func New() *Registry {
-	return &Registry{docs: make(map[media.DocumentID]media.Document)}
+	return &Registry{
+		docs: make(map[media.DocumentID]media.Document),
+		gens: make(map[media.DocumentID]uint64),
+	}
 }
 
 // Add validates and stores a document, replacing any document with the same
@@ -45,6 +54,8 @@ func (r *Registry) Add(d media.Document) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.docs[d.ID] = d
+	r.gen++
+	r.gens[d.ID] = r.gen
 	return nil
 }
 
@@ -56,18 +67,38 @@ func (r *Registry) Remove(id media.DocumentID) error {
 		return fmt.Errorf("%w: document %q", ErrNotFound, id)
 	}
 	delete(r.docs, id)
+	delete(r.gens, id)
+	r.gen++
 	return nil
 }
 
 // Document returns the document with the given id.
 func (r *Registry) Document(id media.DocumentID) (media.Document, error) {
+	d, _, err := r.Snapshot(id)
+	return d, err
+}
+
+// Snapshot returns the document together with its current generation, read
+// atomically under one lock acquisition. The generation changes whenever the
+// document is replaced (Add), removed and re-added, or reloaded from disk —
+// so a candidate set computed from this snapshot is valid exactly as long as
+// Generation(id) still returns the same value.
+func (r *Registry) Snapshot(id media.DocumentID) (media.Document, uint64, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	d, ok := r.docs[id]
 	if !ok {
-		return media.Document{}, fmt.Errorf("%w: document %q", ErrNotFound, id)
+		return media.Document{}, 0, fmt.Errorf("%w: document %q", ErrNotFound, id)
 	}
-	return d, nil
+	return d, r.gens[id], nil
+}
+
+// Generation returns the mutation generation of a document (0 when the
+// document is unknown).
+func (r *Registry) Generation(id media.DocumentID) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gens[id]
 }
 
 // List returns every stored document id in sorted order.
@@ -203,6 +234,14 @@ func (r *Registry) LoadFile(path string) error {
 	}
 	r.mu.Lock()
 	r.docs = m
+	// A reload replaces the whole catalog: every surviving document gets a
+	// fresh generation so cached candidate sets from the old catalog can
+	// never be mistaken for current ones.
+	r.gens = make(map[media.DocumentID]uint64, len(m))
+	r.gen++
+	for id := range m {
+		r.gens[id] = r.gen
+	}
 	r.mu.Unlock()
 	return nil
 }

@@ -80,6 +80,7 @@ type config struct {
 	optsSet     bool
 	concurrency int
 	topK        int
+	offerCache  *int
 	health      *core.HealthPolicy
 	retry       protocol.RetryPolicy
 	metrics     *telemetry.Registry
@@ -137,6 +138,19 @@ func WithConcurrency(n int) Option {
 // the full classified set.
 func WithTopK(k int) Option {
 	return func(c *config) { c.topK = k }
+}
+
+// WithOfferCache sizes the candidate-set cache memoizing the static half of
+// the negotiation procedure (step-2 variant filtering, the §6 QoS mapping
+// and the §7 per-variant pricing) across negotiations: repeat requests for
+// the same document from the same machine class skip straight to
+// classification. The cache is on by default (size 0 selects
+// offercache.DefaultSize); pass a negative size to disable it. Hits are
+// provably coherent — registry mutations, pricing swaps and breaker
+// transitions all invalidate — so outcomes are identical with the cache on
+// or off. It applies on top of WithOptions.
+func WithOfferCache(size int) Option {
+	return func(c *config) { c.offerCache = &size }
 }
 
 // WithHealthPolicy enables the QoS manager's per-server circuit breaker:
@@ -225,6 +239,9 @@ func New(options ...Option) (*System, error) {
 	}
 	if cfg.topK != 0 {
 		opts.TopK = cfg.topK
+	}
+	if cfg.offerCache != nil {
+		opts.OfferCache = *cfg.offerCache
 	}
 	if cfg.health != nil {
 		opts.Health = *cfg.health

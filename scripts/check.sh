@@ -27,8 +27,17 @@ go test -race -short -count=1 -run 'TestLifecycleStress' ./internal/core
 echo "== telemetry zero-alloc gate"
 go test -run 'TestNoopTelemetryZeroAlloc' ./internal/telemetry ./internal/core
 
+echo "== cached-negotiate allocation gate"
+go test -count=1 -run 'TestCachedNegotiateAllocBound' ./internal/core
+
 echo "== benchmarks (smoke, 1 iteration)"
 ./scripts/bench.sh -smoke
+
+# Exercise the comparison machinery (parsing, stats, delta table) without
+# gating on timings: a 1-iteration run on an arbitrary CI machine is far too
+# noisy to hold to the 10% bar `make bench-compare` applies locally.
+echo "== bench compare (smoke vs committed baseline)"
+./scripts/bench.sh -compare BENCH_BASELINE.json 1 100000 1x >/dev/null
 
 echo "== fuzz (smoke, 5s per target)"
 go test -run '^$' -fuzz '^FuzzCurveEval$' -fuzztime 5s ./internal/profile

@@ -1,11 +1,13 @@
 // Command qosctl talks to a qosnegd daemon: it lists the catalog, runs a
 // negotiation with a factory profile, confirms or rejects the reserved
-// offer, inspects sessions, and renders the daemon's telemetry.
+// offer, negotiates a whole playlist in one round trip, inspects sessions,
+// and renders the daemon's telemetry.
 //
 // Usage:
 //
 //	qosctl -addr 127.0.0.1:7000 list
 //	qosctl -addr 127.0.0.1:7000 negotiate -doc news-1 -profile tv-quality [-confirm]
+//	qosctl -addr 127.0.0.1:7000 batch -docs news-1,movie-2 -profile tv-quality [-confirm]
 //	qosctl -addr 127.0.0.1:7000 renegotiate -id 3 -profile premium [-confirm]
 //	qosctl -addr 127.0.0.1:7000 session -id 3
 //	qosctl -addr 127.0.0.1:7000 watch -id 3
@@ -13,13 +15,20 @@
 //	qosctl -addr 127.0.0.1:7000 invoice -id 3
 //	qosctl -addr 127.0.0.1:7000 servers
 //	qosctl -addr 127.0.0.1:7000 stats
+//
+// The -codec flag pins the wire codec: "auto" (default) negotiates the
+// multiplexed binary codec and falls back to JSON against older daemons,
+// "binary" refuses to fall back, and "json" speaks the legacy protocol
+// byte-for-byte.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"qosneg/internal/client"
@@ -31,7 +40,7 @@ import (
 	"qosneg/internal/telemetry"
 )
 
-const usage = "usage: qosctl [flags] list|negotiate|renegotiate|session|sessions|invoice|servers|watch|stats"
+const usage = "usage: qosctl [flags] list|negotiate|batch|renegotiate|session|sessions|invoice|servers|watch|stats"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -44,9 +53,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "127.0.0.1:7000", "daemon address")
 	doc := fs.String("doc", "", "document id for negotiate")
+	docs := fs.String("docs", "", "comma-separated document ids for batch")
 	profileName := fs.String("profile", "tv-quality", "factory profile: tv-quality, premium or economy")
 	clientNode := fs.String("client", "client-1", "client attachment point on the daemon's network")
 	confirm := fs.Bool("confirm", false, "confirm the offer after a successful negotiation")
+	codec := fs.String("codec", "auto", "wire codec: auto, binary or json")
 	id := fs.Uint64("id", 0, "session id for the session command")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -56,7 +67,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, usage)
 		return 2
 	}
-	c, err := protocol.Dial(*addr)
+	var wire protocol.WireOptions
+	switch *codec {
+	case "auto":
+		// Zero value: offer binary, fall back to JSON.
+	case "binary":
+		wire.Codecs = []string{protocol.CodecBinary}
+	case "json":
+		wire.Codecs = []string{protocol.CodecJSON}
+	default:
+		fmt.Fprintf(stderr, "qosctl: unknown codec %q (want auto, binary or json)\n", *codec)
+		return 2
+	}
+	ctx := context.Background()
+	c, err := protocol.Dial(*addr, protocol.WithWire(wire))
 	if err != nil {
 		fmt.Fprintf(stderr, "qosctl: %v\n", err)
 		return 1
@@ -70,7 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	switch fs.Arg(0) {
 	case "list":
-		docs, err := c.ListDocuments("")
+		docs, err := c.ListDocuments(ctx, "")
 		if err != nil {
 			return fail(err)
 		}
@@ -86,7 +110,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		mach := client.Workstation(client.MachineID(*clientNode), network.NodeID(*clientNode))
-		res, err := c.Negotiate(mach, media.DocumentID(*doc), u)
+		res, err := c.Negotiate(ctx, mach, media.DocumentID(*doc), u)
 		if err != nil {
 			return fail(err)
 		}
@@ -106,17 +130,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if res.Status.Reserved() {
 			fmt.Fprintf(stdout, "session %d reserved; cost %s; confirm within %s\n", res.Session, res.Cost, res.ChoicePeriod)
 			if *confirm {
-				if err := c.Confirm(res.Session); err != nil {
+				if err := c.Confirm(ctx, res.Session); err != nil {
 					return fail(fmt.Errorf("confirm: %w", err))
 				}
 				fmt.Fprintln(stdout, "confirmed: delivery started")
 			} else {
-				if err := c.Reject(res.Session); err != nil {
+				if err := c.Reject(ctx, res.Session); err != nil {
 					return fail(fmt.Errorf("reject: %w", err))
 				}
 				fmt.Fprintln(stdout, "rejected: resources released (pass -confirm to accept)")
 			}
 		}
+	case "batch":
+		if *docs == "" {
+			return fail(fmt.Errorf("batch needs -docs (comma-separated document ids)"))
+		}
+		u, err := factoryProfile(*profileName)
+		if err != nil {
+			return fail(err)
+		}
+		mach := client.Workstation(client.MachineID(*clientNode), network.NodeID(*clientNode))
+		var items []protocol.BatchItem
+		for _, d := range strings.Split(*docs, ",") {
+			d = strings.TrimSpace(d)
+			if d == "" {
+				continue
+			}
+			items = append(items, protocol.BatchItem{Machine: &mach, Document: media.DocumentID(d), Profile: &u})
+		}
+		if len(items) == 0 {
+			return fail(fmt.Errorf("batch needs -docs (comma-separated document ids)"))
+		}
+		results, err := c.BatchNegotiate(ctx, items)
+		if err != nil {
+			return fail(err)
+		}
+		exit := 0
+		for i, res := range results {
+			name := items[i].Document
+			if res.Err != nil {
+				fmt.Fprintf(stdout, "%-12s error: %v\n", name, res.Err)
+				exit = 1
+				continue
+			}
+			fmt.Fprintf(stdout, "%-12s status: %s", name, res.Status)
+			if res.RetryAfter > 0 {
+				fmt.Fprintf(stdout, " (retry after %s)", res.RetryAfter)
+			}
+			fmt.Fprintln(stdout)
+			if !res.Status.Reserved() {
+				continue
+			}
+			if *confirm {
+				if err := c.Confirm(ctx, res.Session); err != nil {
+					return fail(fmt.Errorf("confirm %s: %w", name, err))
+				}
+				fmt.Fprintf(stdout, "%-12s session %d confirmed; cost %s\n", name, res.Session, res.Cost)
+			} else {
+				if err := c.Reject(ctx, res.Session); err != nil {
+					return fail(fmt.Errorf("reject %s: %w", name, err))
+				}
+				fmt.Fprintf(stdout, "%-12s session %d rejected (pass -confirm to accept)\n", name, res.Session)
+			}
+		}
+		return exit
 	case "renegotiate":
 		if *id == 0 {
 			return fail(fmt.Errorf("renegotiate needs -id"))
@@ -125,7 +202,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		res, err := c.Renegotiate(core.SessionID(*id), u)
+		res, err := c.Renegotiate(ctx, core.SessionID(*id), u)
 		if err != nil {
 			return fail(err)
 		}
@@ -139,14 +216,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if res.Status.Reserved() {
 			fmt.Fprintf(stdout, "session %d re-reserved; cost %s; confirm within %s\n", res.Session, res.Cost, res.ChoicePeriod)
 			if *confirm {
-				if err := c.Confirm(res.Session); err != nil {
+				if err := c.Confirm(ctx, res.Session); err != nil {
 					return fail(fmt.Errorf("confirm: %w", err))
 				}
 				fmt.Fprintln(stdout, "confirmed: delivery started")
 			}
 		}
 	case "session":
-		info, err := c.Session(core.SessionID(*id))
+		info, err := c.Session(ctx, core.SessionID(*id))
 		if err != nil {
 			return fail(err)
 		}
@@ -156,7 +233,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *id == 0 {
 			return fail(fmt.Errorf("watch needs -id"))
 		}
-		err := c.Watch(core.SessionID(*id), 250*time.Millisecond, func(i protocol.SessionInfo) {
+		err := c.Watch(ctx, core.SessionID(*id), 250*time.Millisecond, func(i protocol.SessionInfo) {
 			fmt.Fprintf(stdout, "session %d: %-9s position %-8s transitions %d\n",
 				i.Session, i.State, i.Position, i.Transitions)
 		})
@@ -164,7 +241,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 	case "sessions":
-		rows, err := c.ListSessions()
+		rows, err := c.ListSessions(ctx)
 		if err != nil {
 			return fail(err)
 		}
@@ -176,27 +253,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *id == 0 {
 			return fail(fmt.Errorf("invoice needs -id"))
 		}
-		inv, err := c.Invoice(core.SessionID(*id))
+		inv, err := c.Invoice(ctx, core.SessionID(*id))
 		if err != nil {
 			return fail(err)
 		}
 		fmt.Fprint(stdout, inv.String())
 	case "servers":
-		loads, err := c.ServerLoads()
+		loads, err := c.ServerLoads(ctx)
 		if err != nil {
 			return fail(err)
 		}
 		printServers(stdout, loads)
 	case "stats":
-		st, err := c.Stats()
+		st, err := c.Stats(ctx)
 		if err != nil {
 			return fail(err)
 		}
-		snap, err := c.Metrics()
+		snap, err := c.Metrics(ctx)
 		if err != nil {
 			return fail(err)
 		}
-		loads, err := c.ServerLoads()
+		loads, err := c.ServerLoads(ctx)
 		if err != nil {
 			return fail(err)
 		}

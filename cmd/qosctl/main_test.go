@@ -119,6 +119,58 @@ func TestQosctlCatalogAndNegotiation(t *testing.T) {
 	}
 }
 
+// TestQosctlJSONCodecFlow pins the legacy serialized codec end to end: a
+// -codec json client running the classic negotiate → confirm → invoice
+// flow against the new daemon must behave exactly as the pre-multiplexing
+// qosctl did.
+func TestQosctlJSONCodecFlow(t *testing.T) {
+	addr := startDaemon(t, true)
+	stdout, stderr, code := ctl(t, addr, "-codec", "json", "-doc", "news-1", "-confirm", "negotiate")
+	if code != 0 {
+		t.Fatalf("negotiate: exit %d (stderr: %s)", code, stderr)
+	}
+	for _, w := range []string{"status: SUCCEEDED", "confirmed: delivery started"} {
+		if !strings.Contains(stdout, w) {
+			t.Errorf("output missing %q:\n%s", w, stdout)
+		}
+	}
+	stdout, stderr, code = ctl(t, addr, "-codec", "json", "-id", "1", "invoice")
+	if code != 0 {
+		t.Fatalf("invoice: exit %d (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "TOTAL") {
+		t.Errorf("invoice output missing TOTAL:\n%s", stdout)
+	}
+}
+
+// TestQosctlBatch drives the batch subcommand: several documents in one
+// round trip, per-item statuses, and a non-zero exit when an item names an
+// unknown document.
+func TestQosctlBatch(t *testing.T) {
+	addr := startDaemon(t, true)
+	stdout, stderr, code := ctl(t, addr, "-docs", "news-1,news-1", "batch")
+	if code != 0 {
+		t.Fatalf("batch: exit %d (stderr: %s)", code, stderr)
+	}
+	if got := strings.Count(stdout, "status: SUCCEEDED"); got != 2 {
+		t.Errorf("want 2 successful items, got %d:\n%s", got, stdout)
+	}
+	if !strings.Contains(stdout, "rejected") {
+		t.Errorf("unconfirmed batch items should be rejected:\n%s", stdout)
+	}
+
+	stdout, stderr, code = ctl(t, addr, "-docs", "news-1,ghost", "batch")
+	if code != 1 {
+		t.Fatalf("batch with unknown doc: exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "ghost") || !strings.Contains(stdout, "error") {
+		t.Errorf("per-item report should name the failing document:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "status: SUCCEEDED") {
+		t.Errorf("one failing item must not fail its siblings:\n%s", stdout)
+	}
+}
+
 func TestQosctlStats(t *testing.T) {
 	addr := startDaemon(t, true)
 	if stdout, stderr, code := ctl(t, addr, "-doc", "news-1", "negotiate"); code != 0 {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	sys, err := qosneg.New(qosneg.WithClients(2), qosneg.WithServers(2))
 	if err != nil {
 		log.Fatal(err)
@@ -47,7 +49,7 @@ func main() {
 	}
 	defer c.Close()
 
-	docs, err := c.ListDocuments("")
+	docs, err := c.ListDocuments(ctx, "")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,14 +68,14 @@ func main() {
 	// timer aborts the session and reclaims resources.
 	u.Desired.Time.ChoicePeriod = 100 * time.Millisecond
 	u.Worst.Time.ChoicePeriod = 100 * time.Millisecond
-	res, err := c.Negotiate(mach, docs[0].ID, u)
+	res, err := c.Negotiate(ctx, mach, docs[0].ID, u)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("round 1: %s, offer video %s at %s, choice period %s\n",
 		res.Status, res.Offer.Video, res.Cost, res.ChoicePeriod)
 	time.Sleep(300 * time.Millisecond) // let it lapse
-	info, err := c.Session(res.Session)
+	info, err := c.Session(ctx, res.Session)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -83,21 +85,21 @@ func main() {
 	// Round 2: negotiate again and confirm in time.
 	u.Desired.Time.ChoicePeriod = 30 * time.Second
 	u.Worst.Time.ChoicePeriod = 30 * time.Second
-	res, err = c.Negotiate(mach, docs[0].ID, u)
+	res, err = c.Negotiate(ctx, mach, docs[0].ID, u)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := c.Confirm(res.Session); err != nil {
+	if err := c.Confirm(ctx, res.Session); err != nil {
 		log.Fatal(err)
 	}
-	info, err = c.Session(res.Session)
+	info, err = c.Session(ctx, res.Session)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("round 2: confirmed → session %d state %q, cost %s\n",
 		info.Session, info.State, info.Cost)
 
-	st, err := c.Stats()
+	st, err := c.Stats(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,14 @@
 package protocol
 
 import (
+	"bufio"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qosneg/internal/client"
@@ -20,6 +21,10 @@ import (
 
 // ErrClientClosed is returned for RPCs on a closed client.
 var ErrClientClosed = errors.New("protocol: client closed")
+
+// errConnBroken reports that the connection died under a concurrent caller
+// before this RPC's exchange started.
+var errConnBroken = errors.New("protocol: connection broken")
 
 // RetryPolicy tunes the client's self-healing: how often a broken
 // connection is redialed and idempotent RPCs retried, with capped
@@ -74,46 +79,66 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 	return d + time.Duration(p.Jitter*rand.Float64()*float64(d))
 }
 
+// ClientOption configures Dial and NewClient.
+type ClientOption func(*Client)
+
+// WithWire sets the client's codec preference and stream cap; the zero
+// value offers binary-then-JSON with the default cap.
+func WithWire(w WireOptions) ClientOption {
+	return func(c *Client) { c.wire = w }
+}
+
 // Client is the profile-manager side of the wire protocol: it connects to a
 // negotiation daemon and performs negotiate/confirm/reject rounds. It is
-// safe for concurrent use; requests on one connection are serialized.
+// safe for concurrent use.
 //
-// Every RPC has a *Context form taking a context.Context. Because the
-// protocol is a single stream of request/response pairs, cancellation is
-// implemented by poisoning the connection's deadline; a canceled in-flight
-// call returns the context's error and marks the connection broken.
+// On the binary codec (the default when the daemon speaks it) concurrent
+// RPCs are multiplexed over one connection on per-request stream ids, a
+// Watch is a server-push stream that does not block other calls, and
+// canceling a call only abandons its stream — the connection stays healthy.
+// On the JSON fallback codec requests are serialized one at a time and
+// cancellation is implemented by poisoning the connection's deadline: a
+// canceled in-flight call returns the context's error and marks the
+// connection broken.
+//
+// Every RPC takes a context as its first argument; the legacy *Context
+// method names remain as deprecated aliases.
 //
 // Clients built by Dial self-heal: a broken connection is automatically
 // redialed with capped exponential backoff, and read-only RPCs (Session,
-// ListDocuments, ListSessions, Stats, Invoice, ServerLoads) are retried on
-// the fresh connection. State-changing RPCs (Negotiate, Renegotiate,
-// Confirm, Reject) are never retried — a lost response could mean the
-// daemon already committed resources — but they do get a fresh dial if the
-// connection was already known broken before the attempt. Clients built by
-// NewClient have no address to redial and fail fast instead.
+// ListDocuments, ListSessions, Stats, Invoice, ServerLoads, Metrics) are
+// retried on the fresh connection. State-changing RPCs (Negotiate,
+// Renegotiate, BatchNegotiate, Confirm, Reject) are never retried — a lost
+// response could mean the daemon already committed resources — but they do
+// get a fresh dial when the connection is already known broken before the
+// attempt. Clients built by NewClient have no address to redial and fail
+// fast instead.
 type Client struct {
-	mu     sync.Mutex
-	addr   string
-	retry  RetryPolicy
-	conn   net.Conn
-	enc    *json.Encoder
-	dec    *json.Decoder
-	broken bool
-	closed bool
-	// redials counts successful reconnects, for tests and diagnostics.
+	addr  string
+	retry RetryPolicy
+	wire  WireOptions
+
+	mu      sync.Mutex
+	cc      *clientConn
+	pending net.Conn // from NewClient; handshake deferred to first use
+	closed  bool
+	dialed  bool // a connection has been established at least once
 	redials int
 
 	// Telemetry, installed by Instrument; nil when uninstrumented.
-	rpcSeconds *telemetry.HistogramFamily
-	rpcErrors  *telemetry.CounterFamily
-	redialCtr  *telemetry.Counter
-	tracer     telemetry.Tracer
+	rpcSeconds  *telemetry.HistogramFamily
+	rpcErrors   *telemetry.CounterFamily
+	redialCtr   *telemetry.Counter
+	connCtr     *telemetry.CounterFamily
+	streamGauge *telemetry.Gauge
+	tracer      telemetry.Tracer
 }
 
 // Instrument wires the client into a telemetry registry (per-RPC latency
-// histograms and error counters by message type, a redial counter) and an
-// optional tracer that receives a StepRedial span per successful reconnect.
-// Both arguments may be nil.
+// histograms and error counters by message type, a redial counter, a
+// per-codec connection counter and a live-stream gauge) and an optional
+// tracer that receives a StepRedial span per successful reconnect. Both
+// arguments may be nil.
 func (c *Client) Instrument(reg *telemetry.Registry, tr telemetry.Tracer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -124,52 +149,67 @@ func (c *Client) Instrument(reg *telemetry.Registry, tr telemetry.Tracer) {
 			"Client RPCs that ultimately failed, by message type.", "type")
 		c.redialCtr = reg.Counter("qosneg_client_redials_total",
 			"Successful reconnects to the daemon.")
+		c.connCtr = reg.CounterFamily("qosneg_client_connections_total",
+			"Connections established, by negotiated codec.", "codec")
+		c.streamGauge = reg.Gauge("qosneg_client_streams",
+			"Currently open client-side streams on multiplexed connections.")
 	}
 	c.tracer = tr
 }
 
 // Dial connects to a negotiation daemon with the default retry policy.
-func Dial(addr string) (*Client, error) {
-	return DialContext(context.Background(), addr)
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
 }
 
 // DialContext connects to a negotiation daemon with the default retry
 // policy, abandoning the attempt when ctx is canceled.
-func DialContext(ctx context.Context, addr string) (*Client, error) {
-	return DialRetry(ctx, addr, DefaultRetryPolicy())
+func DialContext(ctx context.Context, addr string, opts ...ClientOption) (*Client, error) {
+	return DialRetry(ctx, addr, DefaultRetryPolicy(), opts...)
 }
 
 // DialRetry connects to a negotiation daemon with an explicit retry
-// policy. The initial dial is a single attempt — a daemon that is down now
-// fails fast — and the policy governs redials and idempotent-RPC retries
-// afterward.
-func DialRetry(ctx context.Context, addr string, policy RetryPolicy) (*Client, error) {
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
+// policy. The initial dial — including the codec handshake — is a single
+// attempt, so a daemon that is down now fails fast; the policy governs
+// redials and idempotent-RPC retries afterward.
+func DialRetry(ctx context.Context, addr string, policy RetryPolicy, opts ...ClientOption) (*Client, error) {
+	c := &Client{addr: addr, retry: policy}
+	for _, o := range opts {
+		o(c)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.connectLocked(ctx); err != nil {
 		return nil, err
 	}
-	c := NewClient(conn)
-	c.addr = addr
-	c.retry = policy
 	return c, nil
 }
 
-// NewClient wraps an established connection. Having no address, the client
-// cannot redial: a broken connection stays broken.
-func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn)}
+// NewClient wraps an established connection; the codec handshake runs on
+// first use. Having no address, the client cannot redial: a broken
+// connection stays broken.
+func NewClient(conn net.Conn, opts ...ClientOption) *Client {
+	c := &Client{pending: conn}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Close closes the connection; subsequent RPCs return ErrClientClosed.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.closed = true
-	if c.conn == nil {
-		return nil
+	cc, pending := c.cc, c.pending
+	c.cc, c.pending = nil, nil
+	c.mu.Unlock()
+	if pending != nil {
+		pending.Close()
 	}
-	return c.conn.Close()
+	if cc != nil {
+		cc.close(ErrClientClosed)
+	}
+	return nil
 }
 
 // Redials reports how many times the client reconnected.
@@ -179,116 +219,167 @@ func (c *Client) Redials() int {
 	return c.redials
 }
 
-// ensureConnLocked makes sure a usable connection exists, redialing a
-// broken one; the caller holds c.mu.
-func (c *Client) ensureConnLocked(ctx context.Context) error {
+// Codec reports the negotiated codec of the live connection, or "" when no
+// connection is up.
+func (c *Client) Codec() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cc == nil {
+		return ""
+	}
+	return c.cc.codec
+}
+
+// grab returns a healthy connection, dialing or handshaking one if needed.
+// Dialing happens under c.mu so concurrent callers share one attempt.
+func (c *Client) grab(ctx context.Context) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		return ErrClientClosed
+		return nil, ErrClientClosed
 	}
-	if c.conn != nil && !c.broken {
-		return nil
+	if c.cc != nil && !c.cc.isBroken() {
+		return c.cc, nil
 	}
-	if c.addr == "" {
-		return fmt.Errorf("protocol: connection broken and not redialable (built by NewClient)")
+	return c.connectLocked(ctx)
+}
+
+// connectLocked establishes a fresh connection; the caller holds c.mu.
+func (c *Client) connectLocked(ctx context.Context) (*clientConn, error) {
+	if c.cc != nil {
+		c.cc.close(errConnBroken)
+		c.cc = nil
 	}
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
+	var nc net.Conn
+	switch {
+	case c.pending != nil:
+		nc, c.pending = c.pending, nil
+	case c.addr != "":
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err != nil {
+			if !c.dialed {
+				return nil, err
+			}
+			return nil, fmt.Errorf("protocol: redial %s: %w", c.addr, err)
+		}
+		nc = conn
+	default:
+		return nil, fmt.Errorf("protocol: connection broken and not redialable (built by NewClient)")
 	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	cc, err := c.handshake(ctx, nc)
 	if err != nil {
-		return fmt.Errorf("protocol: redial %s: %w", c.addr, err)
+		nc.Close()
+		return nil, err
 	}
-	c.conn, c.enc, c.dec = conn, json.NewEncoder(conn), json.NewDecoder(conn)
-	c.broken = false
-	c.redials++
-	c.redialCtr.Inc()
-	if c.tracer != nil {
-		c.tracer.Trace(telemetry.Event{Step: telemetry.StepRedial, Server: c.addr})
+	c.cc = cc
+	c.connCtr.With(cc.codec).Inc()
+	if c.dialed {
+		c.redials++
+		c.redialCtr.Inc()
+		if c.tracer != nil {
+			c.tracer.Trace(telemetry.Event{Step: telemetry.StepRedial, Server: c.addr})
+		}
 	}
-	return nil
+	c.dialed = true
+	return cc, nil
 }
 
-// arm makes a ctx cancellation interrupt reads and writes on the
-// connection by forcing its deadline into the past. The returned stop must
-// be called when the call completes; when it reports false the caller must
-// wait on done before touching the deadline again — the poisoning callback
-// may still be mid-flight.
-func (c *Client) arm(ctx context.Context) (stop func() bool, done chan struct{}) {
-	done = make(chan struct{})
-	if ctx.Done() == nil {
-		close(done)
-		return func() bool { return true }, done
+// handshake runs codec negotiation on a fresh connection. A client
+// configured as JSON-only skips it entirely (legacy behaviour, byte for
+// byte). Otherwise it sends MsgHello and adopts the server's choice; a
+// legacy server answers MsgError, which selects the JSON fallback when the
+// preference list allows it.
+func (c *Client) handshake(ctx context.Context, nc net.Conn) (*clientConn, error) {
+	cc := &clientConn{owner: c, nc: nc, r: bufio.NewReader(nc)}
+	prefs := c.wire.codecs()
+	if len(prefs) == 1 && prefs[0] == CodecJSON {
+		cc.codec = CodecJSON
+		return cc, nil
 	}
-	conn := c.conn
-	stop = context.AfterFunc(ctx, func() {
-		conn.SetDeadline(time.Now())
-		close(done)
-	})
-	return stop, done
+	stop, done := cc.arm(ctx)
+	hello := Envelope{Type: MsgHello, Payload: &HelloRequest{Codecs: prefs, MaxStreams: c.wire.maxStreams()}}
+	sendErr := cc.writeLine(hello)
+	var resp Envelope
+	var recvErr error
+	if sendErr == nil {
+		resp, recvErr = cc.readLine()
+	}
+	if !stop() {
+		<-done
+		if sendErr == nil && recvErr == nil {
+			nc.SetDeadline(time.Time{})
+		}
+	}
+	if sendErr != nil {
+		return nil, fmt.Errorf("protocol: handshake send: %w", sendErr)
+	}
+	if recvErr != nil {
+		return nil, c.finishCtx(ctx, fmt.Errorf("protocol: handshake receive: %w", recvErr))
+	}
+	streams := c.wire.maxStreams()
+	switch p := resp.Payload.(type) {
+	case *HelloAck:
+		if !c.wire.supports(p.Codec) {
+			return nil, fmt.Errorf("protocol: server chose unsupported codec %q", p.Codec)
+		}
+		cc.codec = p.Codec
+		if p.MaxStreams > 0 && p.MaxStreams < streams {
+			streams = p.MaxStreams
+		}
+	case *ErrorPayload:
+		// A server that predates the handshake: fall back to plain JSON if
+		// the preference list allows it.
+		if !c.wire.supports(CodecJSON) {
+			return nil, fmt.Errorf("protocol: server does not speak %v: %s", prefs, p.Error)
+		}
+		cc.codec = CodecJSON
+	default:
+		return nil, fmt.Errorf("protocol: unexpected handshake response %q", resp.Type)
+	}
+	if cc.codec == CodecBinary {
+		cc.sem = make(chan struct{}, streams)
+		cc.streams = make(map[uint32]*clientStream)
+		cc.closedCh = make(chan struct{})
+		cc.fw = newFrameWriter(nc, func(error) { nc.Close() })
+		go cc.readLoop()
+	}
+	return cc, nil
 }
 
-func (c *Client) finish(ctx context.Context, err error) error {
+func (c *Client) finishCtx(ctx context.Context, err error) error {
 	if err != nil && ctx.Err() != nil {
 		return fmt.Errorf("protocol: %w", ctx.Err())
 	}
 	return err
 }
 
-// exchangeLocked performs one request/response on the current connection;
-// the caller holds c.mu. Transport failures mark the connection broken.
-func (c *Client) exchangeLocked(ctx context.Context, req Request) (Response, error) {
-	stop, done := c.arm(ctx)
-	sendErr := c.enc.Encode(req)
-	var resp Response
-	var recvErr error
-	if sendErr == nil {
-		recvErr = c.dec.Decode(&resp)
+// drop retires a connection the caller found broken.
+func (c *Client) drop(cc *clientConn) {
+	c.mu.Lock()
+	if c.cc == cc {
+		c.cc = nil
 	}
-	if !stop() {
-		// The AfterFunc fired. Wait for it, then clear the poisoned
-		// deadline if the exchange actually completed first — otherwise
-		// the stale past deadline would fail every later call on this
-		// connection.
-		<-done
-		if sendErr == nil && recvErr == nil {
-			c.conn.SetDeadline(time.Time{})
-		}
-	}
-	if sendErr != nil {
-		c.broken = true
-		return Response{}, c.finish(ctx, fmt.Errorf("protocol: send: %w", sendErr))
-	}
-	if recvErr != nil {
-		c.broken = true
-		return Response{}, c.finish(ctx, fmt.Errorf("protocol: receive: %w", recvErr))
-	}
-	if resp.Type == MsgError {
-		return resp, fmt.Errorf("protocol: server error: %s", resp.Error)
-	}
-	return resp, nil
+	c.mu.Unlock()
+	cc.close(errConnBroken)
 }
 
 // roundTrip performs one RPC. Idempotent RPCs are retried across redials
 // per the retry policy; non-idempotent ones get at most a fresh dial (when
 // the connection was already broken) and a single exchange.
-func (c *Client) roundTrip(ctx context.Context, req Request, idempotent bool) (Response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+func (c *Client) roundTrip(ctx context.Context, env Envelope, idempotent bool) (Envelope, error) {
 	if c.rpcSeconds != nil {
 		begin := time.Now()
-		defer func() { c.rpcSeconds.With(string(req.Type)).Observe(time.Since(begin)) }()
+		defer func() { c.rpcSeconds.With(string(env.Type)).Observe(time.Since(begin)) }()
 	}
-	resp, err := c.roundTripLocked(ctx, req, idempotent)
+	resp, err := c.roundTripRetry(ctx, env, idempotent)
 	if err != nil {
-		c.rpcErrors.With(string(req.Type)).Inc()
+		c.rpcErrors.With(string(env.Type)).Inc()
 	}
 	return resp, err
 }
 
-// roundTripLocked is roundTrip's retry loop; the caller holds c.mu.
-func (c *Client) roundTripLocked(ctx context.Context, req Request, idempotent bool) (Response, error) {
+func (c *Client) roundTripRetry(ctx context.Context, env Envelope, idempotent bool) (Envelope, error) {
 	policy := c.retry.withDefaults()
 	attempts := 1
 	if idempotent && c.addr != "" {
@@ -297,16 +388,17 @@ func (c *Client) roundTripLocked(ctx context.Context, req Request, idempotent bo
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return Response{}, fmt.Errorf("protocol: %w", err)
+			return Envelope{}, fmt.Errorf("protocol: %w", err)
 		}
 		if attempt > 0 {
 			if err := sleepCtx(ctx, policy.backoff(attempt-1)); err != nil {
-				return Response{}, fmt.Errorf("protocol: %w", err)
+				return Envelope{}, fmt.Errorf("protocol: %w", err)
 			}
 		}
-		if err := c.ensureConnLocked(ctx); err != nil {
+		cc, err := c.grab(ctx)
+		if err != nil {
 			if errors.Is(err, ErrClientClosed) || c.addr == "" {
-				return Response{}, err
+				return Envelope{}, err
 			}
 			lastErr = err
 			if !idempotent {
@@ -314,18 +406,19 @@ func (c *Client) roundTripLocked(ctx context.Context, req Request, idempotent bo
 			}
 			continue
 		}
-		resp, err := c.exchangeLocked(ctx, req)
-		if err == nil || !c.broken {
-			// Success, or a server-reported error: the connection is
-			// fine, nothing to heal.
+		resp, err := cc.exchange(ctx, env)
+		if err == nil || !cc.isBroken() {
+			// Success, or a server-reported error / cancellation on a
+			// healthy connection: nothing to heal.
 			return resp, err
 		}
+		c.drop(cc)
 		lastErr = err
 		if !idempotent {
 			break
 		}
 	}
-	return Response{}, lastErr
+	return Envelope{}, lastErr
 }
 
 // sleepCtx sleeps for d or until ctx is canceled.
@@ -353,86 +446,133 @@ type NegotiationResult struct {
 	RetryAfter time.Duration
 }
 
-func negotiationResult(resp Response) (NegotiationResult, error) {
-	status, ok := ParseStatus(resp.Status)
+func negotiationResult(p *ResultPayload) (NegotiationResult, error) {
+	status, ok := ParseStatus(p.Status)
 	if !ok {
-		return NegotiationResult{}, fmt.Errorf("protocol: unknown status %q", resp.Status)
+		return NegotiationResult{}, fmt.Errorf("protocol: unknown status %q", p.Status)
 	}
 	return NegotiationResult{
 		Status:       status,
-		Offer:        resp.Offer,
-		Session:      resp.Session,
-		Cost:         resp.Cost,
-		ChoicePeriod: time.Duration(resp.ChoicePeriodMs) * time.Millisecond,
-		Violations:   resp.Violations,
-		Reason:       resp.Reason,
-		RetryAfter:   time.Duration(resp.RetryAfterMs) * time.Millisecond,
+		Offer:        p.Offer,
+		Session:      p.Session,
+		Cost:         p.Cost,
+		ChoicePeriod: time.Duration(p.ChoicePeriodMs) * time.Millisecond,
+		Violations:   p.Violations,
+		Reason:       p.Reason,
+		RetryAfter:   time.Duration(p.RetryAfterMs) * time.Millisecond,
 	}, nil
 }
 
-// Negotiate runs the negotiation procedure on the daemon.
-//
-// Deprecated: use NegotiateContext.
-func (c *Client) Negotiate(mach client.Machine, doc media.DocumentID, u profile.UserProfile) (NegotiationResult, error) {
-	return c.NegotiateContext(context.Background(), mach, doc, u)
+func resultEnvelope(resp Envelope) (NegotiationResult, error) {
+	p, ok := resp.Payload.(*ResultPayload)
+	if !ok {
+		return NegotiationResult{}, fmt.Errorf("protocol: unexpected response %q", resp.Type)
+	}
+	return negotiationResult(p)
 }
 
-// NegotiateContext runs the negotiation procedure on the daemon.
-func (c *Client) NegotiateContext(ctx context.Context, mach client.Machine, doc media.DocumentID, u profile.UserProfile) (NegotiationResult, error) {
-	resp, err := c.roundTrip(ctx, Request{
-		Type:     MsgNegotiate,
+// Negotiate runs the negotiation procedure on the daemon.
+func (c *Client) Negotiate(ctx context.Context, mach client.Machine, doc media.DocumentID, u profile.UserProfile) (NegotiationResult, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgNegotiate, Payload: &NegotiateRequest{
 		Machine:  &mach,
 		Document: doc,
 		Profile:  &u,
-	}, false)
+	}}, false)
 	if err != nil {
 		return NegotiationResult{}, err
 	}
-	return negotiationResult(resp)
+	return resultEnvelope(resp)
+}
+
+// NegotiateContext runs the negotiation procedure on the daemon.
+//
+// Deprecated: use Negotiate.
+func (c *Client) NegotiateContext(ctx context.Context, mach client.Machine, doc media.DocumentID, u profile.UserProfile) (NegotiationResult, error) {
+	return c.Negotiate(ctx, mach, doc, u)
 }
 
 // Renegotiate re-runs the negotiation for a reserved session with a
 // modified profile.
-//
-// Deprecated: use RenegotiateContext.
-func (c *Client) Renegotiate(id core.SessionID, u profile.UserProfile) (NegotiationResult, error) {
-	return c.RenegotiateContext(context.Background(), id, u)
-}
-
-// RenegotiateContext re-runs the negotiation for a reserved session with a
-// modified profile.
-func (c *Client) RenegotiateContext(ctx context.Context, id core.SessionID, u profile.UserProfile) (NegotiationResult, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgRenegotiate, Session: id, Profile: &u}, false)
+func (c *Client) Renegotiate(ctx context.Context, id core.SessionID, u profile.UserProfile) (NegotiationResult, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgRenegotiate, Payload: &RenegotiateRequest{Profile: &u, Session: id}}, false)
 	if err != nil {
 		return NegotiationResult{}, err
 	}
-	return negotiationResult(resp)
+	return resultEnvelope(resp)
+}
+
+// RenegotiateContext re-runs the negotiation for a reserved session.
+//
+// Deprecated: use Renegotiate.
+func (c *Client) RenegotiateContext(ctx context.Context, id core.SessionID, u profile.UserProfile) (NegotiationResult, error) {
+	return c.Renegotiate(ctx, id, u)
+}
+
+// BatchResult is one item's outcome of a BatchNegotiate: either Err or an
+// embedded negotiation result.
+type BatchResult struct {
+	Err error
+	NegotiationResult
+}
+
+// BatchNegotiate negotiates a list of (machine, document, profile) triples
+// — a playlist, or the monomedia of a composite document — in a single
+// round trip. The daemon fans the items out concurrently; item i of the
+// returned slice answers items[i], and one failed item does not fail its
+// siblings. Like Negotiate, the call is never retried across a broken
+// connection.
+func (c *Client) BatchNegotiate(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgBatchNegotiate, Payload: &BatchNegotiateRequest{Items: items}}, false)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := resp.Payload.(*BatchResultPayload)
+	if !ok {
+		return nil, fmt.Errorf("protocol: unexpected response %q", resp.Type)
+	}
+	if len(p.Items) != len(items) {
+		return nil, fmt.Errorf("protocol: batch answered %d of %d items", len(p.Items), len(items))
+	}
+	out := make([]BatchResult, len(p.Items))
+	for i := range p.Items {
+		if p.Items[i].Error != "" {
+			out[i].Err = fmt.Errorf("protocol: server error: %s", p.Items[i].Error)
+			continue
+		}
+		res, err := negotiationResult(&p.Items[i].ResultPayload)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].NegotiationResult = res
+	}
+	return out, nil
 }
 
 // Confirm accepts a reserved offer.
-//
-// Deprecated: use ConfirmContext.
-func (c *Client) Confirm(id core.SessionID) error {
-	return c.ConfirmContext(context.Background(), id)
+func (c *Client) Confirm(ctx context.Context, id core.SessionID) error {
+	_, err := c.roundTrip(ctx, Envelope{Type: MsgConfirm, Payload: &SessionRequest{Session: id}}, false)
+	return err
 }
 
 // ConfirmContext accepts a reserved offer.
+//
+// Deprecated: use Confirm.
 func (c *Client) ConfirmContext(ctx context.Context, id core.SessionID) error {
-	_, err := c.roundTrip(ctx, Request{Type: MsgConfirm, Session: id}, false)
-	return err
+	return c.Confirm(ctx, id)
 }
 
 // Reject declines a reserved offer, releasing its resources.
-//
-// Deprecated: use RejectContext.
-func (c *Client) Reject(id core.SessionID) error {
-	return c.RejectContext(context.Background(), id)
+func (c *Client) Reject(ctx context.Context, id core.SessionID) error {
+	_, err := c.roundTrip(ctx, Envelope{Type: MsgReject, Payload: &SessionRequest{Session: id}}, false)
+	return err
 }
 
 // RejectContext declines a reserved offer, releasing its resources.
+//
+// Deprecated: use Reject.
 func (c *Client) RejectContext(ctx context.Context, id core.SessionID) error {
-	_, err := c.roundTrip(ctx, Request{Type: MsgReject, Session: id}, false)
-	return err
+	return c.Reject(ctx, id)
 }
 
 // SessionInfo is the client-side view of a session's state.
@@ -444,189 +584,590 @@ type SessionInfo struct {
 	Cost        cost.Money
 }
 
-func sessionInfo(resp Response) SessionInfo {
+func sessionInfo(p *SessionInfoPayload) SessionInfo {
 	return SessionInfo{
-		Session:     resp.Session,
-		State:       resp.State,
-		Position:    time.Duration(resp.PositionMs) * time.Millisecond,
-		Transitions: resp.Transitions,
-		Cost:        resp.Cost,
+		Session:     p.Session,
+		State:       p.State,
+		Position:    time.Duration(p.PositionMs) * time.Millisecond,
+		Transitions: p.Transitions,
+		Cost:        p.Cost,
 	}
 }
 
 // Session queries a session's state.
-//
-// Deprecated: use SessionContext.
-func (c *Client) Session(id core.SessionID) (SessionInfo, error) {
-	return c.SessionContext(context.Background(), id)
-}
-
-// SessionContext queries a session's state.
-func (c *Client) SessionContext(ctx context.Context, id core.SessionID) (SessionInfo, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgSession, Session: id}, true)
+func (c *Client) Session(ctx context.Context, id core.SessionID) (SessionInfo, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgSession, Payload: &SessionRequest{Session: id}}, true)
 	if err != nil {
 		return SessionInfo{}, err
 	}
-	return sessionInfo(resp), nil
+	p, ok := resp.Payload.(*SessionInfoPayload)
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("protocol: unexpected response %q", resp.Type)
+	}
+	return sessionInfo(p), nil
 }
 
-// Watch streams session updates over this connection until the session
-// completes or aborts.
+// SessionContext queries a session's state.
 //
-// Deprecated: use WatchContext.
-func (c *Client) Watch(id core.SessionID, interval time.Duration, fn func(SessionInfo)) error {
-	return c.WatchContext(context.Background(), id, interval, fn)
+// Deprecated: use Session.
+func (c *Client) SessionContext(ctx context.Context, id core.SessionID) (SessionInfo, error) {
+	return c.Session(ctx, id)
 }
 
-// WatchContext streams session updates over this connection until the
-// session completes or aborts, calling fn for every state or transition
-// change. The connection is busy for the duration; use a dedicated client.
-// A negative or zero interval selects the server default. Canceling ctx
-// ends the watch with the context's error; the watch itself is not
-// resumed, but the client redials for the next RPC.
-func (c *Client) WatchContext(ctx context.Context, id core.SessionID, interval time.Duration, fn func(SessionInfo)) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// Watch streams session updates until the session completes or aborts,
+// calling fn for every state or transition change. On a multiplexed
+// connection the watch runs on its own stream: other RPCs on this client
+// proceed concurrently, and canceling ctx ends just the watch — the
+// connection stays usable. On the JSON fallback the watch occupies the
+// connection until the final update, and a cancellation breaks the
+// connection (the next RPC redials). A non-positive interval selects the
+// server default.
+func (c *Client) Watch(ctx context.Context, id core.SessionID, interval time.Duration, fn func(SessionInfo)) error {
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("protocol: %w", err)
 	}
-	if err := c.ensureConnLocked(ctx); err != nil {
+	cc, err := c.grab(ctx)
+	if err != nil {
 		return err
 	}
-	stop, done := c.arm(ctx)
-	defer func() {
-		if !stop() {
-			<-done
-			if !c.broken {
-				c.conn.SetDeadline(time.Time{})
-			}
+	req := Envelope{Type: MsgWatch, Payload: &WatchRequest{Session: id, IntervalMs: interval.Milliseconds()}}
+	if cc.codec == CodecBinary {
+		return cc.watchBinary(ctx, req, fn)
+	}
+	return cc.watchJSON(ctx, req, fn)
+}
+
+// WatchContext streams session updates until the session completes.
+//
+// Deprecated: use Watch.
+func (c *Client) WatchContext(ctx context.Context, id core.SessionID, interval time.Duration, fn func(SessionInfo)) error {
+	return c.Watch(ctx, id, interval, fn)
+}
+
+// ListDocuments lists the daemon's catalog, optionally filtered by a title
+// substring.
+func (c *Client) ListDocuments(ctx context.Context, query string) ([]DocumentSummary, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgListDocuments, Payload: &ListDocumentsRequest{Query: query}}, true)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := resp.Payload.(*DocumentsPayload)
+	if !ok {
+		return nil, fmt.Errorf("protocol: unexpected response %q", resp.Type)
+	}
+	return p.Documents, nil
+}
+
+// ListDocumentsContext lists the daemon's catalog.
+//
+// Deprecated: use ListDocuments.
+func (c *Client) ListDocumentsContext(ctx context.Context, query string) ([]DocumentSummary, error) {
+	return c.ListDocuments(ctx, query)
+}
+
+// ListSessions lists the daemon's sessions, ordered by id.
+func (c *Client) ListSessions(ctx context.Context) ([]SessionSummary, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgListSessions}, true)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := resp.Payload.(*SessionsPayload)
+	if !ok {
+		return nil, fmt.Errorf("protocol: unexpected response %q", resp.Type)
+	}
+	return p.Sessions, nil
+}
+
+// ListSessionsContext lists the daemon's sessions, ordered by id.
+//
+// Deprecated: use ListSessions.
+func (c *Client) ListSessionsContext(ctx context.Context) ([]SessionSummary, error) {
+	return c.ListSessions(ctx)
+}
+
+// Invoice fetches a session's itemized bill.
+func (c *Client) Invoice(ctx context.Context, id core.SessionID) (cost.Invoice, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgInvoice, Payload: &SessionRequest{Session: id}}, true)
+	if err != nil {
+		return cost.Invoice{}, err
+	}
+	p, ok := resp.Payload.(*InvoicePayload)
+	if !ok || p.Invoice == nil {
+		return cost.Invoice{}, fmt.Errorf("protocol: empty invoice response")
+	}
+	return *p.Invoice, nil
+}
+
+// InvoiceContext fetches a session's itemized bill.
+//
+// Deprecated: use Invoice.
+func (c *Client) InvoiceContext(ctx context.Context, id core.SessionID) (cost.Invoice, error) {
+	return c.Invoice(ctx, id)
+}
+
+// ServerLoads fetches the media servers' current load.
+func (c *Client) ServerLoads(ctx context.Context) ([]core.ServerLoad, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgServerLoads}, true)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := resp.Payload.(*ServerLoadsPayload)
+	if !ok {
+		return nil, fmt.Errorf("protocol: unexpected response %q", resp.Type)
+	}
+	return p.ServerLoads, nil
+}
+
+// ServerLoadsContext fetches the media servers' current load.
+//
+// Deprecated: use ServerLoads.
+func (c *Client) ServerLoadsContext(ctx context.Context) ([]core.ServerLoad, error) {
+	return c.ServerLoads(ctx)
+}
+
+// Stats fetches the daemon's outcome counters.
+func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgStats}, true)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	p, ok := resp.Payload.(*StatsInfoPayload)
+	if !ok || p.Stats == nil {
+		return core.Stats{}, fmt.Errorf("protocol: empty stats response")
+	}
+	return *p.Stats, nil
+}
+
+// StatsContext fetches the daemon's outcome counters.
+//
+// Deprecated: use Stats.
+func (c *Client) StatsContext(ctx context.Context) (core.Stats, error) {
+	return c.Stats(ctx)
+}
+
+// Metrics fetches the daemon's telemetry snapshot: every counter, gauge and
+// latency histogram the daemon records. A daemon running without telemetry
+// answers with an empty snapshot.
+func (c *Client) Metrics(ctx context.Context) (telemetry.Snapshot, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgMetrics}, true)
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	p, ok := resp.Payload.(*MetricsPayload)
+	if !ok || p.Metrics == nil {
+		return telemetry.Snapshot{}, fmt.Errorf("protocol: empty metrics response")
+	}
+	return *p.Metrics, nil
+}
+
+// MetricsContext fetches the daemon's telemetry snapshot.
+//
+// Deprecated: use Metrics.
+func (c *Client) MetricsContext(ctx context.Context) (telemetry.Snapshot, error) {
+	return c.Metrics(ctx)
+}
+
+// clientStream receives the demultiplexed envelopes of one stream through
+// an unbounded queue, so the connection's read loop never blocks on a slow
+// or abandoned consumer.
+type clientStream struct {
+	mu  sync.Mutex
+	q   []Envelope
+	err error
+	sig chan struct{}
+}
+
+func newClientStream() *clientStream {
+	return &clientStream{sig: make(chan struct{}, 1)}
+}
+
+func (s *clientStream) signal() {
+	select {
+	case s.sig <- struct{}{}:
+	default:
+	}
+}
+
+func (s *clientStream) push(e Envelope) {
+	s.mu.Lock()
+	s.q = append(s.q, e)
+	s.mu.Unlock()
+	s.signal()
+}
+
+func (s *clientStream) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.signal()
+}
+
+// next returns the stream's next envelope, the stream's terminal error, or
+// ctx's error — whichever comes first.
+func (s *clientStream) next(ctx context.Context) (Envelope, error) {
+	for {
+		s.mu.Lock()
+		if len(s.q) > 0 {
+			e := s.q[0]
+			s.q = s.q[1:]
+			s.mu.Unlock()
+			return e, nil
 		}
-	}()
-	if err := c.enc.Encode(Request{Type: MsgWatch, Session: id, IntervalMs: interval.Milliseconds()}); err != nil {
-		c.broken = true
-		return c.finish(ctx, fmt.Errorf("protocol: send: %w", err))
+		err := s.err
+		s.mu.Unlock()
+		if err != nil {
+			return Envelope{}, err
+		}
+		select {
+		case <-s.sig:
+		case <-ctx.Done():
+			return Envelope{}, ctx.Err()
+		}
+	}
+}
+
+// clientConn is one negotiated connection: either the serialized JSON
+// fallback or the multiplexed binary codec.
+type clientConn struct {
+	owner *Client
+	nc    net.Conn
+	codec string
+	r     *bufio.Reader
+
+	broken atomic.Bool
+
+	// JSON mode: one exchange at a time.
+	jmu sync.Mutex
+
+	// Binary mode.
+	fw       *frameWriter
+	sem      chan struct{}
+	smu      sync.Mutex
+	streams  map[uint32]*clientStream
+	nextID   uint32
+	connErr  error
+	closedCh chan struct{}
+	tonce    sync.Once
+}
+
+func (cc *clientConn) isBroken() bool { return cc.broken.Load() }
+
+// close tears the connection down; every pending stream fails with err.
+func (cc *clientConn) close(err error) {
+	if cc.codec == CodecBinary {
+		cc.teardown(err)
+		return
+	}
+	cc.broken.Store(true)
+	cc.nc.Close()
+}
+
+// teardown ends a binary connection once: pending streams fail, the writer
+// stops, the socket closes.
+func (cc *clientConn) teardown(err error) {
+	cc.tonce.Do(func() {
+		cc.broken.Store(true)
+		cc.smu.Lock()
+		cc.connErr = err
+		streams := cc.streams
+		cc.streams = nil
+		close(cc.closedCh)
+		cc.smu.Unlock()
+		for _, st := range streams {
+			st.fail(err)
+		}
+		cc.nc.Close()
+		go cc.fw.stop()
+	})
+}
+
+// readLoop demultiplexes binary frames to their streams until the
+// connection dies.
+func (cc *clientConn) readLoop() {
+	for {
+		f, err := readFrame(cc.r)
+		if err != nil {
+			cc.teardown(fmt.Errorf("protocol: receive: %w", err))
+			return
+		}
+		if f.Flags&flagCancel != 0 {
+			continue
+		}
+		env, err := decodeEnvelope(f.Payload)
+		if err != nil {
+			cc.teardown(fmt.Errorf("protocol: receive: %w", err))
+			return
+		}
+		env.StreamID = f.Stream
+		cc.smu.Lock()
+		st := cc.streams[f.Stream]
+		cc.smu.Unlock()
+		if st != nil {
+			// Responses to abandoned streams are dropped here instead:
+			// the caller deregistered before leaving.
+			st.push(env)
+		}
+	}
+}
+
+// openStream registers a fresh stream id; the caller must closeStream it.
+func (cc *clientConn) openStream() (*clientStream, uint32, error) {
+	cc.smu.Lock()
+	defer cc.smu.Unlock()
+	if cc.streams == nil {
+		return nil, 0, cc.errLocked()
 	}
 	for {
-		var resp Response
-		if err := c.dec.Decode(&resp); err != nil {
-			c.broken = true
-			return c.finish(ctx, fmt.Errorf("protocol: receive: %w", err))
+		cc.nextID++
+		if cc.nextID == 0 {
+			cc.nextID = 1
 		}
-		if resp.Type == MsgError {
-			return fmt.Errorf("protocol: server error: %s", resp.Error)
+		if _, taken := cc.streams[cc.nextID]; !taken {
+			break
 		}
-		fn(sessionInfo(resp))
-		if resp.Final {
+	}
+	st := newClientStream()
+	cc.streams[cc.nextID] = st
+	return st, cc.nextID, nil
+}
+
+func (cc *clientConn) closeStream(id uint32) {
+	cc.smu.Lock()
+	if cc.streams != nil {
+		delete(cc.streams, id)
+	}
+	cc.smu.Unlock()
+}
+
+func (cc *clientConn) errLocked() error {
+	if cc.connErr != nil {
+		return cc.connErr
+	}
+	return errConnBroken
+}
+
+// acquire takes a stream slot, bounded by the negotiated per-connection
+// cap.
+func (cc *clientConn) acquire(ctx context.Context) error {
+	select {
+	case cc.sem <- struct{}{}:
+		return nil
+	case <-cc.closedCh:
+		cc.smu.Lock()
+		defer cc.smu.Unlock()
+		return cc.errLocked()
+	case <-ctx.Done():
+		return fmt.Errorf("protocol: %w", ctx.Err())
+	}
+}
+
+func (cc *clientConn) release() { <-cc.sem }
+
+// exchange performs one request/response on this connection, whichever
+// codec it speaks.
+func (cc *clientConn) exchange(ctx context.Context, env Envelope) (Envelope, error) {
+	if cc.codec == CodecBinary {
+		return cc.exchangeBinary(ctx, env)
+	}
+	return cc.exchangeJSON(ctx, env)
+}
+
+// exchangeBinary runs the RPC on its own stream. Cancellation abandons the
+// stream with a best-effort cancel frame; the connection stays healthy.
+func (cc *clientConn) exchangeBinary(ctx context.Context, env Envelope) (Envelope, error) {
+	if err := cc.acquire(ctx); err != nil {
+		return Envelope{}, err
+	}
+	defer cc.release()
+	st, id, err := cc.openStream()
+	if err != nil {
+		return Envelope{}, err
+	}
+	defer cc.closeStream(id)
+	cc.owner.streamGauge.Add(1)
+	defer cc.owner.streamGauge.Add(-1)
+	payload, err := encodeEnvelope(env)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if err := cc.fw.send(frame{Stream: id, Payload: payload}); err != nil {
+		cc.teardown(fmt.Errorf("protocol: send: %w", err))
+		return Envelope{}, fmt.Errorf("protocol: send: %w", err)
+	}
+	resp, err := st.next(ctx)
+	if err != nil {
+		if ctx.Err() != nil && !cc.isBroken() {
+			// Only this stream is abandoned; tell the server to stop.
+			cc.fw.send(frame{Stream: id, Flags: flagCancel})
+			return Envelope{}, fmt.Errorf("protocol: %w", ctx.Err())
+		}
+		return Envelope{}, err
+	}
+	if err := envelopeError(resp); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// exchangeJSON performs one serialized request/response; concurrent callers
+// queue on the connection. Transport failures and cancellations mark the
+// connection broken, exactly as the legacy protocol behaved.
+func (cc *clientConn) exchangeJSON(ctx context.Context, env Envelope) (Envelope, error) {
+	cc.jmu.Lock()
+	defer cc.jmu.Unlock()
+	if cc.isBroken() {
+		return Envelope{}, errConnBroken
+	}
+	stop, done := cc.arm(ctx)
+	sendErr := cc.writeLine(env)
+	var resp Envelope
+	var recvErr error
+	if sendErr == nil {
+		resp, recvErr = cc.readLine()
+	}
+	if !stop() {
+		// The AfterFunc fired. Wait for it, then clear the poisoned
+		// deadline if the exchange actually completed first — otherwise
+		// the stale past deadline would fail every later call on this
+		// connection.
+		<-done
+		if sendErr == nil && recvErr == nil {
+			cc.nc.SetDeadline(time.Time{})
+		}
+	}
+	if sendErr != nil {
+		cc.broken.Store(true)
+		return Envelope{}, cc.owner.finishCtx(ctx, fmt.Errorf("protocol: send: %w", sendErr))
+	}
+	if recvErr != nil {
+		cc.broken.Store(true)
+		return Envelope{}, cc.owner.finishCtx(ctx, fmt.Errorf("protocol: receive: %w", recvErr))
+	}
+	if err := envelopeError(resp); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// arm makes a ctx cancellation interrupt reads and writes on the
+// connection by forcing its deadline into the past. The returned stop must
+// be called when the call completes; when it reports false the caller must
+// wait on done before touching the deadline again — the poisoning callback
+// may still be mid-flight.
+func (cc *clientConn) arm(ctx context.Context) (stop func() bool, done chan struct{}) {
+	done = make(chan struct{})
+	if ctx.Done() == nil {
+		close(done)
+		return func() bool { return true }, done
+	}
+	conn := cc.nc
+	stop = context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Now())
+		close(done)
+	})
+	return stop, done
+}
+
+func (cc *clientConn) writeLine(env Envelope) error {
+	data, err := encodeEnvelope(env)
+	if err != nil {
+		return err
+	}
+	_, err = cc.nc.Write(append(data, '\n'))
+	return err
+}
+
+func (cc *clientConn) readLine() (Envelope, error) {
+	line, err := cc.r.ReadBytes('\n')
+	if err != nil {
+		return Envelope{}, err
+	}
+	return readEnvelopeLine(line)
+}
+
+// watchBinary consumes a server-push watch stream on its own stream id.
+func (cc *clientConn) watchBinary(ctx context.Context, req Envelope, fn func(SessionInfo)) error {
+	if err := cc.acquire(ctx); err != nil {
+		return err
+	}
+	defer cc.release()
+	st, id, err := cc.openStream()
+	if err != nil {
+		return err
+	}
+	defer cc.closeStream(id)
+	cc.owner.streamGauge.Add(1)
+	defer cc.owner.streamGauge.Add(-1)
+	payload, err := encodeEnvelope(req)
+	if err != nil {
+		return err
+	}
+	if err := cc.fw.send(frame{Stream: id, Payload: payload}); err != nil {
+		cc.teardown(fmt.Errorf("protocol: send: %w", err))
+		return fmt.Errorf("protocol: send: %w", err)
+	}
+	for {
+		resp, err := st.next(ctx)
+		if err != nil {
+			if ctx.Err() != nil && !cc.isBroken() {
+				cc.fw.send(frame{Stream: id, Flags: flagCancel})
+				return fmt.Errorf("protocol: %w", ctx.Err())
+			}
+			return err
+		}
+		if err := envelopeError(resp); err != nil {
+			return err
+		}
+		p, ok := resp.Payload.(*SessionInfoPayload)
+		if !ok {
+			return fmt.Errorf("protocol: unexpected watch update %q", resp.Type)
+		}
+		fn(sessionInfo(p))
+		if p.Final {
 			return nil
 		}
 	}
 }
 
-// ListDocuments lists the daemon's catalog, optionally filtered by a title
-// substring.
-//
-// Deprecated: use ListDocumentsContext.
-func (c *Client) ListDocuments(query string) ([]DocumentSummary, error) {
-	return c.ListDocumentsContext(context.Background(), query)
-}
-
-// ListDocumentsContext lists the daemon's catalog, optionally filtered by a
-// title substring.
-func (c *Client) ListDocumentsContext(ctx context.Context, query string) ([]DocumentSummary, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgListDocuments, Query: query}, true)
-	if err != nil {
-		return nil, err
+// watchJSON consumes a watch stream on the serialized JSON codec; the
+// connection is busy until the final update.
+func (cc *clientConn) watchJSON(ctx context.Context, req Envelope, fn func(SessionInfo)) error {
+	cc.jmu.Lock()
+	defer cc.jmu.Unlock()
+	if cc.isBroken() {
+		return errConnBroken
 	}
-	return resp.Documents, nil
-}
-
-// ListSessions lists the daemon's sessions, ordered by id.
-//
-// Deprecated: use ListSessionsContext.
-func (c *Client) ListSessions() ([]SessionSummary, error) {
-	return c.ListSessionsContext(context.Background())
-}
-
-// ListSessionsContext lists the daemon's sessions, ordered by id.
-func (c *Client) ListSessionsContext(ctx context.Context) ([]SessionSummary, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgListSessions}, true)
-	if err != nil {
-		return nil, err
+	stop, done := cc.arm(ctx)
+	defer func() {
+		if !stop() {
+			<-done
+			if !cc.isBroken() {
+				cc.nc.SetDeadline(time.Time{})
+			}
+		}
+	}()
+	if err := cc.writeLine(req); err != nil {
+		cc.broken.Store(true)
+		return cc.owner.finishCtx(ctx, fmt.Errorf("protocol: send: %w", err))
 	}
-	return resp.Sessions, nil
-}
-
-// Invoice fetches a session's itemized bill.
-//
-// Deprecated: use InvoiceContext.
-func (c *Client) Invoice(id core.SessionID) (cost.Invoice, error) {
-	return c.InvoiceContext(context.Background(), id)
-}
-
-// InvoiceContext fetches a session's itemized bill.
-func (c *Client) InvoiceContext(ctx context.Context, id core.SessionID) (cost.Invoice, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgInvoice, Session: id}, true)
-	if err != nil {
-		return cost.Invoice{}, err
+	for {
+		resp, err := cc.readLine()
+		if err != nil {
+			cc.broken.Store(true)
+			return cc.owner.finishCtx(ctx, fmt.Errorf("protocol: receive: %w", err))
+		}
+		if err := envelopeError(resp); err != nil {
+			return err
+		}
+		p, ok := resp.Payload.(*SessionInfoPayload)
+		if !ok {
+			return fmt.Errorf("protocol: unexpected watch update %q", resp.Type)
+		}
+		fn(sessionInfo(p))
+		if p.Final {
+			return nil
+		}
 	}
-	if resp.Invoice == nil {
-		return cost.Invoice{}, fmt.Errorf("protocol: empty invoice response")
-	}
-	return *resp.Invoice, nil
-}
-
-// ServerLoads fetches the media servers' current load.
-//
-// Deprecated: use ServerLoadsContext.
-func (c *Client) ServerLoads() ([]core.ServerLoad, error) {
-	return c.ServerLoadsContext(context.Background())
-}
-
-// ServerLoadsContext fetches the media servers' current load.
-func (c *Client) ServerLoadsContext(ctx context.Context) ([]core.ServerLoad, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgServerLoads}, true)
-	if err != nil {
-		return nil, err
-	}
-	return resp.ServerLoads, nil
-}
-
-// Stats fetches the daemon's outcome counters.
-//
-// Deprecated: use StatsContext.
-func (c *Client) Stats() (core.Stats, error) {
-	return c.StatsContext(context.Background())
-}
-
-// StatsContext fetches the daemon's outcome counters.
-func (c *Client) StatsContext(ctx context.Context) (core.Stats, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgStats}, true)
-	if err != nil {
-		return core.Stats{}, err
-	}
-	if resp.Stats == nil {
-		return core.Stats{}, fmt.Errorf("protocol: empty stats response")
-	}
-	return *resp.Stats, nil
-}
-
-// Metrics fetches the daemon's telemetry snapshot.
-//
-// Deprecated: use MetricsContext.
-func (c *Client) Metrics() (telemetry.Snapshot, error) {
-	return c.MetricsContext(context.Background())
-}
-
-// MetricsContext fetches the daemon's telemetry snapshot: every counter,
-// gauge and latency histogram the daemon records. A daemon running without
-// telemetry answers with an empty snapshot.
-func (c *Client) MetricsContext(ctx context.Context) (telemetry.Snapshot, error) {
-	resp, err := c.roundTrip(ctx, Request{Type: MsgMetrics}, true)
-	if err != nil {
-		return telemetry.Snapshot{}, err
-	}
-	if resp.Metrics == nil {
-		return telemetry.Snapshot{}, fmt.Errorf("protocol: empty metrics response")
-	}
-	return *resp.Metrics, nil
 }

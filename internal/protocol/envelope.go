@@ -1,0 +1,339 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"qosneg/internal/client"
+	"qosneg/internal/core"
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/profile"
+	"qosneg/internal/telemetry"
+)
+
+// Envelope is the unified wire message: a stream id (carried in the frame
+// header on the binary codec, absent on the JSON fallback), a message type,
+// and one typed payload per message type. Adding an RPC means adding a
+// payload struct and a payloadFor entry — not widening a shared field bag.
+//
+// On the wire an envelope is always one flat JSON object, {"type":...}
+// merged with the payload's fields, so the JSON fallback is byte-compatible
+// with the pre-envelope protocol, and a binary frame's payload is exactly
+// the bytes the JSON codec would put on a line.
+type Envelope struct {
+	StreamID uint32
+	Type     MessageType
+	Payload  any
+}
+
+// Request payloads (client → server). Field order mirrors the legacy
+// Request struct so the marshaled JSON is byte-identical to the old
+// protocol.
+
+// HelloRequest opens codec negotiation: the client's codec preference list
+// and its desired concurrent-stream cap. It must be the first message on a
+// connection; servers that predate it answer MsgError, which clients treat
+// as "JSON only".
+type HelloRequest struct {
+	Codecs     []string `json:"codecs"`
+	MaxStreams int      `json:"maxStreams,omitempty"`
+}
+
+// NegotiateRequest carries MsgNegotiate.
+type NegotiateRequest struct {
+	Machine  *client.Machine      `json:"machine,omitempty"`
+	Document media.DocumentID     `json:"document,omitempty"`
+	Profile  *profile.UserProfile `json:"profile,omitempty"`
+}
+
+// RenegotiateRequest carries MsgRenegotiate.
+type RenegotiateRequest struct {
+	Profile *profile.UserProfile `json:"profile,omitempty"`
+	Session core.SessionID       `json:"session,omitempty"`
+}
+
+// SessionRequest carries the session-targeted RPCs: MsgConfirm, MsgReject,
+// MsgSession and MsgInvoice.
+type SessionRequest struct {
+	Session core.SessionID `json:"session,omitempty"`
+}
+
+// ListDocumentsRequest carries MsgListDocuments.
+type ListDocumentsRequest struct {
+	Query string `json:"query,omitempty"`
+}
+
+// WatchRequest carries MsgWatch.
+type WatchRequest struct {
+	Session    core.SessionID `json:"session,omitempty"`
+	IntervalMs int64          `json:"intervalMs,omitempty"`
+}
+
+// BatchItem is one (machine, document, profile) triple of a
+// MsgBatchNegotiate request — one monomedia negotiation of a playlist or
+// composite document.
+type BatchItem struct {
+	Machine  *client.Machine      `json:"machine,omitempty"`
+	Document media.DocumentID     `json:"document"`
+	Profile  *profile.UserProfile `json:"profile,omitempty"`
+}
+
+// BatchNegotiateRequest carries MsgBatchNegotiate: every item is negotiated
+// concurrently on the manager side and answered in one round trip.
+type BatchNegotiateRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// Response payloads (server → client). Field order mirrors the legacy
+// Response struct for byte compatibility on the JSON codec.
+
+// HelloAck answers MsgHello with the codec the server chose and its
+// per-connection stream cap.
+type HelloAck struct {
+	Codec      string `json:"codec"`
+	MaxStreams int    `json:"maxStreams,omitempty"`
+}
+
+// ErrorPayload carries MsgError.
+type ErrorPayload struct {
+	Error string `json:"error,omitempty"`
+}
+
+// ResultPayload answers MsgNegotiate and MsgRenegotiate, and is embedded in
+// every batch item result.
+type ResultPayload struct {
+	Status         string             `json:"status,omitempty"`
+	Offer          *profile.MMProfile `json:"offer,omitempty"`
+	Session        core.SessionID     `json:"session,omitempty"`
+	Cost           cost.Money         `json:"cost,omitempty"`
+	Reason         string             `json:"reason,omitempty"`
+	ChoicePeriodMs int64              `json:"choicePeriodMs,omitempty"`
+	Violations     []string           `json:"violations,omitempty"`
+	RetryAfterMs   int64              `json:"retryAfterMs,omitempty"`
+}
+
+// OKPayload answers MsgConfirm and MsgReject.
+type OKPayload struct {
+	Session core.SessionID `json:"session,omitempty"`
+}
+
+// SessionInfoPayload answers MsgSession and streams on MsgWatch. The
+// declaration order (session and cost before state) preserves the legacy
+// byte layout.
+type SessionInfoPayload struct {
+	Session     core.SessionID `json:"session,omitempty"`
+	Cost        cost.Money     `json:"cost,omitempty"`
+	State       string         `json:"state,omitempty"`
+	PositionMs  int64          `json:"positionMs,omitempty"`
+	Transitions int            `json:"transitions,omitempty"`
+	// Final marks the last update of a MsgWatch stream.
+	Final bool `json:"final,omitempty"`
+}
+
+// DocumentsPayload answers MsgListDocuments.
+type DocumentsPayload struct {
+	Documents []DocumentSummary `json:"documents,omitempty"`
+}
+
+// StatsInfoPayload answers MsgStats.
+type StatsInfoPayload struct {
+	Stats *core.Stats `json:"stats,omitempty"`
+}
+
+// SessionsPayload answers MsgListSessions.
+type SessionsPayload struct {
+	Sessions []SessionSummary `json:"sessions,omitempty"`
+}
+
+// InvoicePayload answers MsgInvoice.
+type InvoicePayload struct {
+	Session core.SessionID `json:"session,omitempty"`
+	Invoice *cost.Invoice  `json:"invoice,omitempty"`
+}
+
+// ServerLoadsPayload answers MsgServerLoads.
+type ServerLoadsPayload struct {
+	ServerLoads []core.ServerLoad `json:"serverLoads,omitempty"`
+}
+
+// MetricsPayload answers MsgMetrics.
+type MetricsPayload struct {
+	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
+}
+
+// BatchItemResult is one item's outcome in a MsgBatchResult: either an
+// item-level error or an embedded negotiation result. One failed item does
+// not fail its siblings.
+type BatchItemResult struct {
+	Error string `json:"error,omitempty"`
+	ResultPayload
+}
+
+// BatchResultPayload answers MsgBatchNegotiate, item i answering request
+// item i.
+type BatchResultPayload struct {
+	Items []BatchItemResult `json:"items"`
+}
+
+// payloadFor returns a fresh payload pointer for a message type, or nil for
+// types that carry no payload (and for unknown types, which the dispatcher
+// rejects).
+func payloadFor(t MessageType) any {
+	switch t {
+	case MsgHello:
+		return new(HelloRequest)
+	case MsgNegotiate:
+		return new(NegotiateRequest)
+	case MsgRenegotiate:
+		return new(RenegotiateRequest)
+	case MsgConfirm, MsgReject, MsgSession, MsgInvoice:
+		return new(SessionRequest)
+	case MsgListDocuments:
+		return new(ListDocumentsRequest)
+	case MsgWatch:
+		return new(WatchRequest)
+	case MsgBatchNegotiate:
+		return new(BatchNegotiateRequest)
+	case MsgBatchResult:
+		return new(BatchResultPayload)
+	case MsgHelloAck:
+		return new(HelloAck)
+	case MsgError:
+		return new(ErrorPayload)
+	case MsgResult:
+		return new(ResultPayload)
+	case MsgOK:
+		return new(OKPayload)
+	case MsgSessionInfo:
+		return new(SessionInfoPayload)
+	case MsgDocuments:
+		return new(DocumentsPayload)
+	case MsgStatsInfo:
+		return new(StatsInfoPayload)
+	case MsgSessions:
+		return new(SessionsPayload)
+	case MsgInvoiceInfo:
+		return new(InvoicePayload)
+	case MsgServerLoadsInfo:
+		return new(ServerLoadsPayload)
+	case MsgMetricsInfo:
+		return new(MetricsPayload)
+	default:
+		return nil
+	}
+}
+
+// encodeEnvelope renders the flat JSON object both codecs carry: the JSON
+// codec appends a newline, the binary codec wraps it in a frame.
+func encodeEnvelope(e Envelope) ([]byte, error) {
+	head := make([]byte, 0, 256)
+	head = append(head, `{"type":`...)
+	tb, err := json.Marshal(e.Type)
+	if err != nil {
+		return nil, err
+	}
+	head = append(head, tb...)
+	if e.Payload == nil {
+		return append(head, '}'), nil
+	}
+	body, err := json.Marshal(e.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 2 || body[0] != '{' || body[len(body)-1] != '}' {
+		return nil, fmt.Errorf("protocol: payload for %q is not a JSON object", e.Type)
+	}
+	if len(body) == 2 { // "{}"
+		return append(head, '}'), nil
+	}
+	head = append(head, ',')
+	return append(head, body[1:]...), nil
+}
+
+// probeType extracts the message type without a full JSON parse when the
+// input starts with `{"type":"..."` — which everything our own encoder
+// produces does, since encodeEnvelope always splices the type field first.
+// Inputs with a leading BOM, whitespace, reordered fields or an escaped
+// type string report !ok and take the full-parse path instead.
+func probeType(data []byte) (MessageType, bool) {
+	const prefix = `{"type":"`
+	if len(data) < len(prefix) || string(data[:len(prefix)]) != prefix {
+		return "", false
+	}
+	rest := data[len(prefix):]
+	i := bytes.IndexByte(rest, '"')
+	if i < 0 {
+		return "", false
+	}
+	// Message types never contain escapes; a backslash means this string is
+	// not one of ours.
+	if bytes.IndexByte(rest[:i], '\\') >= 0 {
+		return "", false
+	}
+	return MessageType(rest[:i]), true
+}
+
+// decodeEnvelope parses a flat JSON object into a typed envelope. Unknown
+// message types decode with a nil payload so the dispatcher can answer a
+// protocol-level error instead of dropping the connection.
+//
+// The hot path (a known type in leading position, as both codecs emit) is a
+// single typed json.Unmarshal, which also validates the whole document.
+// Everything else — unknown types, payload-less messages, foreign field
+// orders — falls back to a probe parse first, so malformed JSON is still
+// rejected even when there is no payload struct to validate against.
+func decodeEnvelope(data []byte) (Envelope, error) {
+	if t, ok := probeType(data); ok {
+		if p := payloadFor(t); p != nil {
+			if err := json.Unmarshal(data, p); err != nil {
+				return Envelope{}, err
+			}
+			return Envelope{Type: t, Payload: p}, nil
+		}
+	}
+	var probe struct {
+		Type MessageType `json:"type"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return Envelope{}, err
+	}
+	e := Envelope{Type: probe.Type}
+	if p := payloadFor(probe.Type); p != nil {
+		if err := json.Unmarshal(data, p); err != nil {
+			return Envelope{}, err
+		}
+		e.Payload = p
+	}
+	return e, nil
+}
+
+// envelopeError maps a MsgError envelope to a Go error; nil otherwise.
+func envelopeError(e Envelope) error {
+	if e.Type != MsgError {
+		return nil
+	}
+	msg := "unknown error"
+	if p, ok := e.Payload.(*ErrorPayload); ok && p.Error != "" {
+		msg = p.Error
+	}
+	return fmt.Errorf("protocol: server error: %s", msg)
+}
+
+// writeEnvelopeLine writes an envelope in the JSON codec's line framing.
+func writeEnvelopeLine(w interface{ Write([]byte) (int, error) }, e Envelope) error {
+	data, err := encodeEnvelope(e)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// readEnvelopeLine reads one line and decodes it; empty lines are skipped
+// by the caller. It exists so client and server share exactly one JSON
+// parse path.
+func readEnvelopeLine(line []byte) (Envelope, error) {
+	return decodeEnvelope(bytes.TrimSpace(line))
+}

@@ -27,7 +27,7 @@ func TestWireFailoverWithCrashedReplica(t *testing.T) {
 	if !inj.Crash("server-1") {
 		t.Fatal("server-1 not wrapped")
 	}
-	res, err := c.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,11 +37,11 @@ func TestWireFailoverWithCrashedReplica(t *testing.T) {
 	if res.RetryAfter != 0 {
 		t.Errorf("reserved result carries RetryAfter %v", res.RetryAfter)
 	}
-	if err := c.Confirm(res.Session); err != nil {
+	if err := c.Confirm(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 
-	loads, err := c.ServerLoads()
+	loads, err := c.ServerLoads(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestWireFailoverWithCrashedReplica(t *testing.T) {
 		t.Errorf("server-1 quarantine not visible over the wire: %+v", loads)
 	}
 
-	st, err := c.Stats()
+	st, err := c.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestWireShortageRetryAfter(t *testing.T) {
 	h := serveHarness(t, bed)
 	c := h.dial(t)
 
-	res, err := c.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}

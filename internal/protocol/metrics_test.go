@@ -44,18 +44,18 @@ func TestMetricsOverWire(t *testing.T) {
 	c := h.dial(t)
 	c.Instrument(reg, nil)
 
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Status != core.Succeeded {
 		t.Fatalf("status = %v (%s)", res.Status, res.Reason)
 	}
-	if err := c.Reject(res.Session); err != nil {
+	if err := c.Reject(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 
-	snap, err := c.Metrics()
+	snap, err := c.Metrics(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,10 +75,10 @@ func TestMetricsOverWire(t *testing.T) {
 	}
 
 	// A failing RPC bumps the server error counter.
-	if _, err := c.Session(core.SessionID(9999)); err == nil {
+	if _, err := c.Session(bg, core.SessionID(9999)); err == nil {
 		t.Fatalf("expected error for unknown session")
 	}
-	snap, err = c.Metrics()
+	snap, err = c.Metrics(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +93,7 @@ func TestMetricsOverWire(t *testing.T) {
 func TestMetricsUninstrumentedDaemon(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	snap, err := c.Metrics()
+	snap, err := c.Metrics(bg)
 	if err != nil {
 		t.Fatal(err)
 	}

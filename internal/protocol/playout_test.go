@@ -23,18 +23,18 @@ func newPlayoutHarness(t *testing.T, docDuration time.Duration) (*harness, *Play
 func TestDaemonPlayoutCompletesSession(t *testing.T) {
 	h, p := newPlayoutHarness(t, 200*time.Millisecond)
 	c := h.dial(t)
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil || !res.Status.Reserved() {
 		t.Fatalf("negotiate: %v %v", res.Status, err)
 	}
-	if err := c.Confirm(res.Session); err != nil {
+	if err := c.Confirm(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 	// The daemon drives the session in real time; the 200 ms document
 	// must complete within a couple of seconds.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		info, err := c.Session(res.Session)
+		info, err := c.Session(bg, res.Session)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,16 +55,16 @@ func TestDaemonPlayoutCompletesSession(t *testing.T) {
 func TestDaemonPlayoutPositionAdvances(t *testing.T) {
 	h, _ := newPlayoutHarness(t, 10*time.Second)
 	c := h.dial(t)
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Confirm(res.Session); err != nil {
+	if err := c.Confirm(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		info, err := c.Session(res.Session)
+		info, err := c.Session(bg, res.Session)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,8 +79,8 @@ func TestDaemonPlayoutPositionAdvances(t *testing.T) {
 func TestPlayoutStopIsClean(t *testing.T) {
 	h, p := newPlayoutHarness(t, time.Hour) // will not finish on its own
 	c := h.dial(t)
-	res, _ := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
-	c.Confirm(res.Session)
+	res, _ := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	c.Confirm(bg, res.Session)
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) && p.Active() == 0 {
 		time.Sleep(5 * time.Millisecond)
@@ -93,7 +93,7 @@ func TestPlayoutStopIsClean(t *testing.T) {
 		t.Errorf("active after stop = %d", p.Active())
 	}
 	// The session stays playing (daemon shutdown, not user action).
-	info, err := c.Session(res.Session)
+	info, err := c.Session(bg, res.Session)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,20 @@
 // Package protocol implements the negotiation wire protocol between client
 // machines and the QoS manager: the distributed half of the prototype, in
 // which the profile manager on the user's workstation talks to the QoS
-// manager over the network. Messages are newline-delimited JSON over TCP.
+// manager over the network.
+//
+// Two codecs share one TCP port. The legacy codec is newline-delimited
+// JSON, one request answered at a time — simple clients interoperate with
+// nothing but a socket and a JSON library. The binary codec wraps the same
+// JSON payloads in length-prefixed frames (magic, version, flags, stream
+// id) and multiplexes concurrent RPCs over a single connection: each RPC
+// runs on its own stream id, watch subscriptions are server-push streams,
+// and a batch RPC negotiates a whole playlist in one round trip. A client
+// opens with a MsgHello listing the codecs it speaks; the server picks one
+// and answers MsgHelloAck. Peers that predate the handshake fall back
+// cleanly — an old server answers MsgError to the hello (the client then
+// speaks JSON), and an old client's first message is not a hello (the
+// server then speaks JSON).
 //
 // The protocol carries the full negotiation flow of Section 4: a negotiate
 // request (client machine description + document + user profile), the
@@ -13,12 +26,9 @@
 package protocol
 
 import (
-	"qosneg/internal/client"
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
 	"qosneg/internal/media"
-	"qosneg/internal/profile"
-	"qosneg/internal/telemetry"
 )
 
 // MessageType discriminates requests and responses.
@@ -26,6 +36,9 @@ type MessageType string
 
 // Request types.
 const (
+	// MsgHello negotiates the connection codec; it must be the first
+	// message on a connection and is answered by MsgHelloAck.
+	MsgHello MessageType = "hello"
 	// MsgNegotiate runs the negotiation procedure.
 	MsgNegotiate MessageType = "negotiate"
 	// MsgConfirm accepts a reserved offer (step 6).
@@ -35,6 +48,11 @@ const (
 	// MsgRenegotiate re-runs the procedure for a reserved session with a
 	// modified profile (Section 8's "modify the offer and then push OK").
 	MsgRenegotiate MessageType = "renegotiate"
+	// MsgBatchNegotiate negotiates a list of (machine, document, profile)
+	// triples — a playlist or composite document — in one round trip. The
+	// manager fans the items out concurrently and answers MsgBatchResult
+	// with per-item statuses and RetryAfter hints.
+	MsgBatchNegotiate MessageType = "batch-negotiate"
 	// MsgSession queries a session's state.
 	MsgSession MessageType = "session"
 	// MsgListDocuments lists or searches the document catalog.
@@ -50,8 +68,10 @@ const (
 	// MsgWatch streams MsgSessionInfo updates for one session until it
 	// reaches a terminal state: the notification channel the profile
 	// manager uses to follow the delivery (and to learn about automatic
-	// adaptations) without polling. Use a dedicated connection; the
-	// stream occupies it.
+	// adaptations) without polling. On a multiplexed connection the watch
+	// is a server-push stream on its own stream id and other RPCs proceed
+	// concurrently; on the JSON codec it occupies the connection until the
+	// final update.
 	MsgWatch MessageType = "watch"
 	// MsgMetrics fetches the daemon's full telemetry snapshot (counters,
 	// gauges, latency histograms); `qosctl stats` renders it. A daemon
@@ -61,8 +81,12 @@ const (
 
 // Response types.
 const (
-	// MsgResult answers MsgNegotiate.
+	// MsgHelloAck answers MsgHello with the chosen codec.
+	MsgHelloAck MessageType = "hello-ack"
+	// MsgResult answers MsgNegotiate and MsgRenegotiate.
 	MsgResult MessageType = "result"
+	// MsgBatchResult answers MsgBatchNegotiate.
+	MsgBatchResult MessageType = "batch-result"
 	// MsgOK answers MsgConfirm / MsgReject.
 	MsgOK MessageType = "ok"
 	// MsgSessionInfo answers MsgSession.
@@ -83,74 +107,12 @@ const (
 	MsgError MessageType = "error"
 )
 
-// Request is the client→server envelope.
-type Request struct {
-	Type MessageType `json:"type"`
-	// Machine describes the requesting client machine (MsgNegotiate).
-	Machine *client.Machine `json:"machine,omitempty"`
-	// Document is the requested document (MsgNegotiate).
-	Document media.DocumentID `json:"document,omitempty"`
-	// Profile is the selected user profile (MsgNegotiate, MsgRenegotiate).
-	Profile *profile.UserProfile `json:"profile,omitempty"`
-	// Session targets MsgConfirm, MsgReject, MsgRenegotiate, MsgSession
-	// and MsgWatch.
-	Session core.SessionID `json:"session,omitempty"`
-	// Query filters MsgListDocuments by title substring.
-	Query string `json:"query,omitempty"`
-	// IntervalMs is the MsgWatch sampling interval (default 200 ms).
-	IntervalMs int64 `json:"intervalMs,omitempty"`
-}
-
 // DocumentSummary is one catalog row of MsgDocuments.
 type DocumentSummary struct {
 	ID    media.DocumentID `json:"id"`
 	Title string           `json:"title"`
 	// Components counts the monomedia components.
 	Components int `json:"components"`
-}
-
-// Response is the server→client envelope.
-type Response struct {
-	Type MessageType `json:"type"`
-	// Error carries the failure text for MsgError.
-	Error string `json:"error,omitempty"`
-
-	// MsgResult fields.
-	Status  string             `json:"status,omitempty"` // paper name, e.g. "SUCCEEDED"
-	Offer   *profile.MMProfile `json:"offer,omitempty"`
-	Session core.SessionID     `json:"session,omitempty"`
-	Cost    cost.Money         `json:"cost,omitempty"`
-	Reason  string             `json:"reason,omitempty"`
-	// ChoicePeriodMs is how long the reservation stays valid.
-	ChoicePeriodMs int64    `json:"choicePeriodMs,omitempty"`
-	Violations     []string `json:"violations,omitempty"`
-	// RetryAfterMs is the retry hint for FAILEDTRYLATER results.
-	RetryAfterMs int64 `json:"retryAfterMs,omitempty"`
-
-	// MsgSessionInfo fields.
-	State       string `json:"state,omitempty"`
-	PositionMs  int64  `json:"positionMs,omitempty"`
-	Transitions int    `json:"transitions,omitempty"`
-	// Final marks the last update of a MsgWatch stream.
-	Final bool `json:"final,omitempty"`
-
-	// MsgDocuments fields.
-	Documents []DocumentSummary `json:"documents,omitempty"`
-
-	// MsgStatsInfo fields.
-	Stats *core.Stats `json:"stats,omitempty"`
-
-	// MsgSessions fields.
-	Sessions []SessionSummary `json:"sessions,omitempty"`
-
-	// MsgInvoiceInfo fields.
-	Invoice *cost.Invoice `json:"invoice,omitempty"`
-
-	// MsgServerLoadsInfo fields.
-	ServerLoads []core.ServerLoad `json:"serverLoads,omitempty"`
-
-	// MsgMetricsInfo fields.
-	Metrics *telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // SessionSummary is one row of MsgSessions.

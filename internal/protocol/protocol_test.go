@@ -15,6 +15,10 @@ import (
 	"qosneg/internal/testbed"
 )
 
+// bg is the background context threaded through the ctx-first client API
+// in tests that do not exercise cancellation.
+var bg = context.Background()
+
 type harness struct {
 	bed    *testbed.Bed
 	server *Server
@@ -89,7 +93,7 @@ func TestNegotiateConfirmOverWire(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
 
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,17 +109,17 @@ func TestNegotiateConfirmOverWire(t *testing.T) {
 	if res.ChoicePeriod != time.Minute {
 		t.Errorf("choice period = %v", res.ChoicePeriod)
 	}
-	if err := c.Confirm(res.Session); err != nil {
+	if err := c.Confirm(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.Session(res.Session)
+	info, err := c.Session(bg, res.Session)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.State != "playing" {
 		t.Errorf("state = %s", info.State)
 	}
-	st, err := c.Stats()
+	st, err := c.Stats(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,18 +131,18 @@ func TestNegotiateConfirmOverWire(t *testing.T) {
 func TestRejectReleasesOverWire(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Reject(res.Session); err != nil {
+	if err := c.Reject(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 	if h.bed.Network.ActiveReservations() != 0 {
 		t.Error("reject leaked reservations")
 	}
 	// Confirming after reject is a protocol error.
-	if err := c.Confirm(res.Session); err == nil {
+	if err := c.Confirm(bg, res.Session); err == nil {
 		t.Error("confirm after reject accepted")
 	}
 }
@@ -146,7 +150,7 @@ func TestRejectReleasesOverWire(t *testing.T) {
 func TestChoicePeriodTimeout(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(50*time.Millisecond))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(50*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,10 +169,10 @@ func TestChoicePeriodTimeout(t *testing.T) {
 	if h.bed.Network.ActiveReservations() != 0 {
 		t.Error("expired session leaked reservations")
 	}
-	if err := c.Confirm(res.Session); err == nil {
+	if err := c.Confirm(bg, res.Session); err == nil {
 		t.Error("confirm after expiry accepted")
 	}
-	info, err := c.Session(res.Session)
+	info, err := c.Session(bg, res.Session)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,18 +184,18 @@ func TestChoicePeriodTimeout(t *testing.T) {
 func TestConfirmDisarmsTimer(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(80*time.Millisecond))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(80*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Confirm(res.Session); err != nil {
+	if err := c.Confirm(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(150 * time.Millisecond)
 	if h.server.Expired() != 0 {
 		t.Error("confirmed session expired anyway")
 	}
-	info, _ := c.Session(res.Session)
+	info, _ := c.Session(bg, res.Session)
 	if info.State != "playing" {
 		t.Errorf("state = %s", info.State)
 	}
@@ -200,7 +204,7 @@ func TestConfirmDisarmsTimer(t *testing.T) {
 func TestListDocuments(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	docs, err := c.ListDocuments("")
+	docs, err := c.ListDocuments(bg, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +214,7 @@ func TestListDocuments(t *testing.T) {
 	if docs[0].ID != "news-1" || docs[0].Components == 0 {
 		t.Errorf("docs[0] = %+v", docs[0])
 	}
-	hits, err := c.ListDocuments("hockey")
+	hits, err := c.ListDocuments(bg, "hockey")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,27 +227,27 @@ func TestServerErrors(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
 	// Unknown document.
-	if _, err := c.Negotiate(h.bed.Client(1), "ghost", tvProfile(time.Minute)); err == nil {
+	if _, err := c.Negotiate(bg, h.bed.Client(1), "ghost", tvProfile(time.Minute)); err == nil {
 		t.Error("unknown document accepted")
 	}
 	// Invalid profile (empty name).
 	bad := tvProfile(time.Minute)
 	bad.Name = ""
-	if _, err := c.Negotiate(h.bed.Client(1), "news-1", bad); err == nil {
+	if _, err := c.Negotiate(bg, h.bed.Client(1), "news-1", bad); err == nil {
 		t.Error("invalid profile accepted")
 	}
 	// Invalid machine.
 	mach := h.bed.Client(1)
 	mach.Decoders = nil
-	if _, err := c.Negotiate(mach, "news-1", tvProfile(time.Minute)); err == nil {
+	if _, err := c.Negotiate(bg, mach, "news-1", tvProfile(time.Minute)); err == nil {
 		t.Error("invalid machine accepted")
 	}
 	// Unknown session.
-	if err := c.Confirm(9999); err == nil || !strings.Contains(err.Error(), "unknown session") {
+	if err := c.Confirm(bg, 9999); err == nil || !strings.Contains(err.Error(), "unknown session") {
 		t.Errorf("unknown session: %v", err)
 	}
 	// The connection survives errors: a good request still works.
-	if _, err := c.ListDocuments(""); err != nil {
+	if _, err := c.ListDocuments(bg, ""); err != nil {
 		t.Errorf("connection broken after error: %v", err)
 	}
 }
@@ -251,7 +255,7 @@ func TestServerErrors(t *testing.T) {
 func TestMalformedRequestType(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	resp, err := c.roundTrip(context.Background(), Request{Type: "dance"}, false)
+	resp, err := c.roundTrip(context.Background(), Envelope{Type: "dance"}, false)
 	if err == nil {
 		t.Errorf("unknown request type accepted: %+v", resp)
 	}
@@ -272,18 +276,18 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			for j := 0; j < 5; j++ {
-				res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+				res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 				if err != nil {
 					errs <- err
 					return
 				}
 				if res.Status.Reserved() {
-					if err := c.Reject(res.Session); err != nil {
+					if err := c.Reject(bg, res.Session); err != nil {
 						errs <- err
 						return
 					}
 				}
-				if _, err := c.ListDocuments(""); err != nil {
+				if _, err := c.ListDocuments(bg, ""); err != nil {
 					errs <- err
 					return
 				}
@@ -315,21 +319,21 @@ func TestParseStatus(t *testing.T) {
 func TestListSessions(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	if rows, err := c.ListSessions(); err != nil || len(rows) != 0 {
+	if rows, err := c.ListSessions(bg); err != nil || len(rows) != 0 {
 		t.Fatalf("empty daemon: %v %v", rows, err)
 	}
-	r1, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	r1, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := c.Negotiate(h.bed.Client(2), "news-2", tvProfile(time.Minute))
+	r2, err := c.Negotiate(bg, h.bed.Client(2), "news-2", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Confirm(r2.Session); err != nil {
+	if err := c.Confirm(bg, r2.Session); err != nil {
 		t.Fatal(err)
 	}
-	rows, err := c.ListSessions()
+	rows, err := c.ListSessions(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,11 +354,11 @@ func TestListSessions(t *testing.T) {
 func TestInvoiceOverWire(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
-	inv, err := c.Invoice(res.Session)
+	inv, err := c.Invoice(bg, res.Session)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -364,7 +368,7 @@ func TestInvoiceOverWire(t *testing.T) {
 	if len(inv.Lines) != 2 {
 		t.Errorf("lines = %+v", inv.Lines)
 	}
-	if _, err := c.Invoice(999); err == nil {
+	if _, err := c.Invoice(bg, 999); err == nil {
 		t.Error("unknown session invoiced")
 	}
 }
@@ -372,7 +376,7 @@ func TestInvoiceOverWire(t *testing.T) {
 func TestServerLoadsOverWire(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	loads, err := c.ServerLoads()
+	loads, err := c.ServerLoads(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,12 +386,12 @@ func TestServerLoadsOverWire(t *testing.T) {
 	if loads[0].ActiveStreams != 0 {
 		t.Errorf("idle server streams = %d", loads[0].ActiveStreams)
 	}
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = res
-	loads, _ = c.ServerLoads()
+	loads, _ = c.ServerLoads(bg)
 	total := 0
 	for _, l := range loads {
 		total += l.ActiveStreams

@@ -35,7 +35,7 @@ func TestClientRedialsAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Stats(); err != nil {
+	if _, err := c.Stats(bg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -43,7 +43,7 @@ func TestClientRedialsAfterServerRestart(t *testing.T) {
 	l.Close()
 	srv.Close()
 	<-done
-	if _, err := c.Stats(); err == nil {
+	if _, err := c.Stats(bg); err == nil {
 		t.Fatal("Stats succeeded with the daemon down")
 	}
 
@@ -61,7 +61,7 @@ func TestClientRedialsAfterServerRestart(t *testing.T) {
 		<-done2
 	}()
 
-	st, err := c.Stats()
+	st, err := c.Stats(bg)
 	if err != nil {
 		t.Fatalf("Stats after daemon restart: %v", err)
 	}
@@ -73,7 +73,7 @@ func TestClientRedialsAfterServerRestart(t *testing.T) {
 	}
 
 	// Documents survive too — the redialed connection is fully usable.
-	docs, err := c.ListDocuments("")
+	docs, err := c.ListDocuments(bg, "")
 	if err != nil || len(docs) != 1 {
 		t.Errorf("ListDocuments after restart: %d docs, %v", len(docs), err)
 	}
@@ -96,12 +96,16 @@ func TestNonIdempotentNotRetried(t *testing.T) {
 	done := make(chan struct{})
 	go func() { defer close(done); srv.Serve(l) }()
 
-	c, err := DialRetry(context.Background(), addr, fastRetry())
+	// Pin the JSON codec: its breakage is only discovered lazily,
+	// mid-exchange, which is the scenario under test. (The binary codec's
+	// background read loop notices a dead connection eagerly, so the first
+	// post-restart Negotiate would legally get a fresh dial.)
+	c, err := DialRetry(context.Background(), addr, fastRetry(), WithWire(WireOptions{Codecs: []string{CodecJSON}}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Stats(); err != nil {
+	if _, err := c.Stats(bg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -125,7 +129,7 @@ func TestNonIdempotentNotRetried(t *testing.T) {
 
 	// The first Negotiate rides the dead connection, discovers the break
 	// mid-exchange, and must NOT retry: the outcome is unknown.
-	if _, err := c.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute)); err == nil {
+	if _, err := c.Negotiate(bg, bed.Client(1), "news-1", tvProfile(time.Minute)); err == nil {
 		t.Fatal("Negotiate silently retried across a broken connection")
 	}
 	if st := bed.Manager.Stats(); st.Requests != 0 {
@@ -134,7 +138,7 @@ func TestNonIdempotentNotRetried(t *testing.T) {
 
 	// Now the connection is known broken: the next Negotiate gets a fresh
 	// dial up front and succeeds exactly once.
-	res, err := c.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatalf("Negotiate after known break: %v", err)
 	}
@@ -144,7 +148,7 @@ func TestNonIdempotentNotRetried(t *testing.T) {
 	if st := bed.Manager.Stats(); st.Requests != 1 {
 		t.Errorf("daemon saw %d negotiation requests; want exactly 1", st.Requests)
 	}
-	if err := c.Reject(res.Session); err != nil {
+	if err := c.Reject(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -161,7 +165,9 @@ func TestCompletedCallUnderCancelDoesNotPoisonDeadline(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return NewClient(conn)
+		// The deadline-poisoning cancellation path under test is specific
+		// to the JSON codec.
+		return NewClient(conn, WithWire(WireOptions{Codecs: []string{CodecJSON}}))
 	}
 	c := dial()
 	defer func() { c.Close() }()
@@ -201,14 +207,14 @@ func TestNewClientFailsFastWithoutAddress(t *testing.T) {
 	}
 	c := NewClient(conn)
 	defer c.Close()
-	if _, err := c.Stats(); err != nil {
+	if _, err := c.Stats(bg); err != nil {
 		t.Fatal(err)
 	}
 	conn.Close()
-	if _, err := c.Stats(); err == nil {
+	if _, err := c.Stats(bg); err == nil {
 		t.Fatal("Stats succeeded on a closed connection")
 	}
-	if _, err := c.Stats(); err == nil {
+	if _, err := c.Stats(bg); err == nil {
 		t.Fatal("broken NewClient connection healed itself")
 	}
 	if c.Redials() != 0 {
@@ -225,7 +231,7 @@ func TestClosedClientRejectsRPCs(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Close()
-	if _, err := c.Stats(); err == nil {
+	if _, err := c.Stats(bg); err == nil {
 		t.Fatal("Stats succeeded on a closed client")
 	}
 }

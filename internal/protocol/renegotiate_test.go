@@ -16,13 +16,13 @@ func TestRenegotiateOverWire(t *testing.T) {
 	u := tvProfile(time.Minute)
 	u.Desired.Video.Color = qos.Grey
 	u.Worst.Video.Color = qos.BlackWhite
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", u)
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", u)
 	if err != nil || !res.Status.Reserved() {
 		t.Fatalf("negotiate: %v %v", res.Status, err)
 	}
 
 	// The user edits the profile upward and renegotiates.
-	res2, err := c.Renegotiate(res.Session, tvProfile(time.Minute))
+	res2, err := c.Renegotiate(bg, res.Session, tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,10 +36,10 @@ func TestRenegotiateOverWire(t *testing.T) {
 		t.Errorf("renegotiated offer = %+v", res2.Offer.Video)
 	}
 	// Confirm the renegotiated offer.
-	if err := c.Confirm(res2.Session); err != nil {
+	if err := c.Confirm(bg, res2.Session); err != nil {
 		t.Fatal(err)
 	}
-	info, _ := c.Session(res2.Session)
+	info, _ := c.Session(bg, res2.Session)
 	if info.State != "playing" {
 		t.Errorf("state = %s", info.State)
 	}
@@ -51,12 +51,12 @@ func TestRenegotiateOverWire(t *testing.T) {
 func TestRenegotiateRearmsChoiceTimer(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	res, err := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Renegotiate onto a very short choice period and let it lapse.
-	res2, err := c.Renegotiate(res.Session, tvProfile(60*time.Millisecond))
+	res2, err := c.Renegotiate(bg, res.Session, tvProfile(60*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,18 +78,18 @@ func TestRenegotiateRearmsChoiceTimer(t *testing.T) {
 func TestRenegotiateErrors(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	if _, err := c.Renegotiate(999, tvProfile(time.Minute)); err == nil {
+	if _, err := c.Renegotiate(bg, 999, tvProfile(time.Minute)); err == nil {
 		t.Error("unknown session accepted")
 	}
 	// Missing/invalid profile.
 	bad := tvProfile(time.Minute)
 	bad.Name = ""
-	res, _ := c.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
-	if _, err := c.Renegotiate(res.Session, bad); err == nil {
+	res, _ := c.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	if _, err := c.Renegotiate(bg, res.Session, bad); err == nil {
 		t.Error("invalid profile accepted")
 	}
 	// The session is still reserved and usable after the rejected request.
-	if err := c.Confirm(res.Session); err != nil {
+	if err := c.Confirm(bg, res.Session); err != nil {
 		t.Errorf("session unusable after bad renegotiate: %v", err)
 	}
 }

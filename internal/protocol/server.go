@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -19,14 +18,19 @@ import (
 	"qosneg/internal/telemetry"
 )
 
-// Server exposes a QoS manager over TCP. It enforces each reserved
-// session's choice period with a server-side timer: the paper's step 6
-// ("The user must confirm the user offer within a limited amount of time
-// since the resources are reserved ... If a time-out is reached the session
-// is simply aborted").
+// Server exposes a QoS manager over TCP, speaking both wire codecs: every
+// connection opens in the JSON line protocol, and a MsgHello handshake may
+// upgrade it to the multiplexed binary codec. Legacy clients never send a
+// hello and are served exactly as before.
+//
+// The server enforces each reserved session's choice period with a
+// server-side timer: the paper's step 6 ("The user must confirm the user
+// offer within a limited amount of time since the resources are reserved
+// ... If a time-out is reached the session is simply aborted").
 type Server struct {
-	man *core.Manager
-	reg *registry.Registry
+	man  *core.Manager
+	reg  *registry.Registry
+	wire WireOptions
 
 	// baseCtx bounds every negotiation the server runs; Close cancels it
 	// so in-flight pipelines abort and roll back.
@@ -44,17 +48,32 @@ type Server struct {
 
 	// Telemetry, installed by Instrument before Serve; all nil when the
 	// server runs uninstrumented (every recording call is nil-safe).
-	metrics    *telemetry.Registry
-	rpcSeconds *telemetry.HistogramFamily
-	rpcErrors  *telemetry.CounterFamily
-	connGauge  *telemetry.Gauge
-	expiredCtr *telemetry.Counter
+	metrics     *telemetry.Registry
+	rpcSeconds  *telemetry.HistogramFamily
+	rpcErrors   *telemetry.CounterFamily
+	connGauge   *telemetry.Gauge
+	connCtr     *telemetry.CounterFamily
+	streamGauge *telemetry.Gauge
+	expiredCtr  *telemetry.Counter
+}
+
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithServerWire sets the codecs the server may pick in the MsgHello
+// handshake and its per-connection stream cap. Regardless of the codec
+// list, clients that never send a hello are served the legacy JSON
+// protocol — the fallback is unconditional.
+func WithServerWire(w WireOptions) ServerOption {
+	return func(s *Server) { s.wire = w }
 }
 
 // Instrument wires the server into a telemetry registry: per-RPC latency
 // histograms and error counters by message type, a live-connection gauge,
-// a choice-period-expiry counter — and makes MsgMetrics answer with the
-// registry's snapshot. Call before Serve; a nil registry is a no-op.
+// a per-codec connection counter, a live-stream gauge for multiplexed
+// connections, a choice-period-expiry counter — and makes MsgMetrics
+// answer with the registry's snapshot. Call before Serve; a nil registry
+// is a no-op.
 func (s *Server) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -66,14 +85,18 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 		"RPCs answered with an error, by message type.", "type")
 	s.connGauge = reg.Gauge("qosneg_server_connections",
 		"Currently open protocol connections.")
+	s.connCtr = reg.CounterFamily("qosneg_server_connections_total",
+		"Connections served, by negotiated codec.", "codec")
+	s.streamGauge = reg.Gauge("qosneg_server_streams",
+		"Currently executing streams on multiplexed connections.")
 	s.expiredCtr = reg.Counter("qosneg_sessions_expired_total",
 		"Sessions aborted by choice-period time-out.")
 }
 
 // NewServer builds a protocol server over the QoS manager and registry.
-func NewServer(man *core.Manager, reg *registry.Registry) *Server {
+func NewServer(man *core.Manager, reg *registry.Registry, opts ...ServerOption) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		man:     man,
 		reg:     reg,
 		baseCtx: ctx,
@@ -81,6 +104,10 @@ func NewServer(man *core.Manager, reg *registry.Registry) *Server {
 		timers:  make(map[core.SessionID]*time.Timer),
 		conns:   make(map[net.Conn]bool),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Serve accepts connections on l until l is closed. Each connection is
@@ -139,15 +166,22 @@ func (s *Server) Expired() int {
 	return s.expired
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// handle serves one connection. It opens in the JSON line protocol — a
+// truncated value (a client dying mid-write, or garbage like a lone "{")
+// is answered and the connection closed instead of the handler blocking
+// forever waiting for the value to complete. A MsgHello as the first
+// message may upgrade the connection to the binary codec; anything else
+// pins it to JSON for its lifetime.
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	// The wire format is one JSON value per line (both ends encode with
-	// json.Encoder). Framing on lines rather than a streaming decoder
-	// means a truncated value — a client dying mid-write, or garbage like
-	// a lone "{" — is answered and the connection closed instead of the
-	// handler blocking forever waiting for the value to complete.
 	r := bufio.NewReader(conn)
-	enc := json.NewEncoder(conn)
+	first := true
 	for {
 		line, err := r.ReadBytes('\n')
 		if len(bytes.TrimSpace(line)) == 0 {
@@ -159,102 +193,190 @@ func (s *Server) handle(conn net.Conn) {
 		if err != nil && err != io.EOF {
 			return
 		}
-		var req Request
-		if jerr := json.Unmarshal(line, &req); jerr != nil {
-			enc.Encode(Response{Type: MsgError, Error: fmt.Sprintf("bad request: %v", jerr)})
+		env, derr := readEnvelopeLine(line)
+		if derr != nil {
+			writeEnvelopeLine(conn, Envelope{Type: MsgError, Payload: &ErrorPayload{Error: fmt.Sprintf("bad request: %v", derr)}})
 			return
 		}
-		if req.Type == MsgWatch {
-			if err := s.watch(req, enc); err != nil {
+		if first {
+			first = false
+			if env.Type == MsgHello {
+				chosen, streams := s.pickCodec(env.Payload.(*HelloRequest))
+				writeEnvelopeLine(conn, Envelope{Type: MsgHelloAck, Payload: &HelloAck{Codec: chosen, MaxStreams: streams}})
+				s.connCtr.With(chosen).Inc()
+				if chosen == CodecBinary {
+					s.serveBinary(conn, r, streams)
+					return
+				}
+				continue
+			}
+			s.connCtr.With(CodecJSON).Inc()
+		} else if env.Type == MsgHello {
+			if werr := writeEnvelopeLine(conn, Envelope{Type: MsgError, Payload: &ErrorPayload{Error: "hello must be the first message on a connection"}}); werr != nil {
 				return
 			}
 			continue
 		}
-		var begin time.Time
-		if s.rpcSeconds != nil {
-			begin = time.Now()
+		if env.Type == MsgWatch {
+			req, _ := env.Payload.(*WatchRequest)
+			if err := s.watchJSON(conn, req); err != nil {
+				return
+			}
+			continue
 		}
-		resp := s.dispatch(req)
-		if s.rpcSeconds != nil {
-			s.rpcSeconds.With(string(req.Type)).Observe(time.Since(begin))
-		}
-		if resp.Type == MsgError {
-			s.rpcErrors.With(string(req.Type)).Inc()
-		}
-		if err := enc.Encode(resp); err != nil {
+		resp := s.serve(s.baseCtx, env)
+		if err := writeEnvelopeLine(conn, resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) dispatch(req Request) Response {
-	switch req.Type {
+// pickCodec answers a hello: the first client-preferred codec the server
+// accepts, falling back to JSON (which the server always speaks).
+func (s *Server) pickCodec(req *HelloRequest) (codec string, streams int) {
+	codec = CodecJSON
+	for _, c := range req.Codecs {
+		if s.wire.supports(c) && (c == CodecBinary || c == CodecJSON) {
+			codec = c
+			break
+		}
+	}
+	streams = s.wire.maxStreams()
+	if req.MaxStreams > 0 && req.MaxStreams < streams {
+		streams = req.MaxStreams
+	}
+	return codec, streams
+}
+
+// serve times and dispatches one unary RPC.
+func (s *Server) serve(ctx context.Context, env Envelope) Envelope {
+	var begin time.Time
+	if s.rpcSeconds != nil {
+		begin = time.Now()
+	}
+	resp := s.dispatch(ctx, env)
+	if s.rpcSeconds != nil {
+		s.rpcSeconds.With(string(env.Type)).Observe(time.Since(begin))
+	}
+	if resp.Type == MsgError {
+		s.rpcErrors.With(string(env.Type)).Inc()
+	}
+	resp.StreamID = env.StreamID
+	return resp
+}
+
+func errEnvelope(format string, args ...any) Envelope {
+	return Envelope{Type: MsgError, Payload: &ErrorPayload{Error: fmt.Sprintf(format, args...)}}
+}
+
+func (s *Server) dispatch(ctx context.Context, env Envelope) Envelope {
+	switch env.Type {
 	case MsgNegotiate:
-		return s.negotiate(req)
+		return s.negotiate(ctx, env.Payload.(*NegotiateRequest))
+	case MsgBatchNegotiate:
+		return s.batchNegotiate(ctx, env.Payload.(*BatchNegotiateRequest))
 	case MsgConfirm:
-		return s.confirm(req)
+		return s.confirm(env.Payload.(*SessionRequest).Session)
 	case MsgReject:
-		return s.reject(req)
+		return s.reject(env.Payload.(*SessionRequest).Session)
 	case MsgRenegotiate:
-		return s.renegotiate(req)
+		return s.renegotiate(ctx, env.Payload.(*RenegotiateRequest))
 	case MsgSession:
-		return s.session(req)
+		return s.session(env.Payload.(*SessionRequest).Session)
 	case MsgListDocuments:
-		return s.listDocuments(req)
+		return s.listDocuments(env.Payload.(*ListDocumentsRequest).Query)
 	case MsgStats:
 		st := s.man.Stats()
-		return Response{Type: MsgStatsInfo, Stats: &st}
+		return Envelope{Type: MsgStatsInfo, Payload: &StatsInfoPayload{Stats: &st}}
 	case MsgListSessions:
 		return s.listSessions()
 	case MsgServerLoads:
-		return Response{Type: MsgServerLoadsInfo, ServerLoads: s.man.ServerLoads()}
+		return Envelope{Type: MsgServerLoadsInfo, Payload: &ServerLoadsPayload{ServerLoads: s.man.ServerLoads()}}
 	case MsgMetrics:
 		// Snapshot is nil-safe: an uninstrumented daemon answers with an
 		// empty (but well-formed) snapshot rather than an error.
 		snap := s.metrics.Snapshot()
-		return Response{Type: MsgMetricsInfo, Metrics: &snap}
+		return Envelope{Type: MsgMetricsInfo, Payload: &MetricsPayload{Metrics: &snap}}
 	case MsgInvoice:
-		inv, err := s.man.Invoice(req.Session)
+		id := env.Payload.(*SessionRequest).Session
+		inv, err := s.man.Invoice(id)
 		if err != nil {
-			return Response{Type: MsgError, Error: err.Error()}
+			return errEnvelope("%s", err)
 		}
-		return Response{Type: MsgInvoiceInfo, Session: req.Session, Invoice: &inv}
+		return Envelope{Type: MsgInvoiceInfo, Payload: &InvoicePayload{Session: id, Invoice: &inv}}
+	case MsgHello:
+		return errEnvelope("hello must be the first message on a connection")
 	default:
-		return Response{Type: MsgError, Error: fmt.Sprintf("unknown request type %q", req.Type)}
+		return errEnvelope("unknown request type %q", env.Type)
 	}
 }
 
-func (s *Server) negotiate(req Request) Response {
-	if req.Machine == nil || req.Profile == nil || req.Document == "" {
-		return Response{Type: MsgError, Error: "negotiate needs machine, document and profile"}
-	}
-	if err := req.Machine.Validate(); err != nil {
-		return Response{Type: MsgError, Error: err.Error()}
-	}
-	if err := req.Profile.Validate(); err != nil {
-		return Response{Type: MsgError, Error: err.Error()}
-	}
-	res, err := s.man.NegotiateContext(s.baseCtx, *req.Machine, req.Document, *req.Profile)
-	if err != nil {
-		return Response{Type: MsgError, Error: err.Error()}
-	}
-	resp := Response{
-		Type:         MsgResult,
+// resultPayload renders a negotiation outcome and, for a reserved session,
+// arms its step 6 choice-period timer.
+func (s *Server) resultPayload(res core.Result) *ResultPayload {
+	p := &ResultPayload{
 		Status:       res.Status.String(),
 		Offer:        res.Offer,
 		Reason:       res.Reason,
 		RetryAfterMs: res.RetryAfter.Milliseconds(),
 	}
 	for _, v := range res.Violations {
-		resp.Violations = append(resp.Violations, v.String())
+		p.Violations = append(p.Violations, v.String())
 	}
 	if res.Session != nil {
-		resp.Session = res.Session.ID
-		resp.Cost = res.Session.Cost()
-		resp.ChoicePeriodMs = res.Session.ChoicePeriod.Milliseconds()
+		p.Session = res.Session.ID
+		p.Cost = res.Session.Cost()
+		p.ChoicePeriodMs = res.Session.ChoicePeriod.Milliseconds()
 		s.armChoiceTimer(res.Session.ID, res.Session.ChoicePeriod)
 	}
-	return resp
+	return p
+}
+
+func (s *Server) negotiate(ctx context.Context, req *NegotiateRequest) Envelope {
+	if req.Machine == nil || req.Profile == nil || req.Document == "" {
+		return errEnvelope("negotiate needs machine, document and profile")
+	}
+	if err := req.Machine.Validate(); err != nil {
+		return errEnvelope("%s", err)
+	}
+	if err := req.Profile.Validate(); err != nil {
+		return errEnvelope("%s", err)
+	}
+	res, err := s.man.NegotiateContext(ctx, *req.Machine, req.Document, *req.Profile)
+	if err != nil {
+		return errEnvelope("%s", err)
+	}
+	return Envelope{Type: MsgResult, Payload: s.resultPayload(res)}
+}
+
+// batchNegotiate fans a playlist's items out concurrently; item i of the
+// answer corresponds to item i of the request, and one failed item does not
+// fail its siblings. Each reserved item gets its own choice timer.
+func (s *Server) batchNegotiate(ctx context.Context, req *BatchNegotiateRequest) Envelope {
+	if len(req.Items) == 0 {
+		return errEnvelope("batch-negotiate needs at least one item")
+	}
+	results := make([]BatchItemResult, len(req.Items))
+	var wg sync.WaitGroup
+	for i := range req.Items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := s.negotiate(ctx, &NegotiateRequest{
+				Machine:  req.Items[i].Machine,
+				Document: req.Items[i].Document,
+				Profile:  req.Items[i].Profile,
+			})
+			switch p := resp.Payload.(type) {
+			case *ResultPayload:
+				results[i].ResultPayload = *p
+			case *ErrorPayload:
+				results[i].Error = p.Error
+			}
+		}(i)
+	}
+	wg.Wait()
+	return Envelope{Type: MsgBatchResult, Payload: &BatchResultPayload{Items: results}}
 }
 
 // armChoiceTimer starts the step 6 time-out for a reserved session.
@@ -293,49 +415,33 @@ func (s *Server) disarmChoiceTimer(id core.SessionID) bool {
 
 // renegotiate re-runs the procedure for a reserved session. The old choice
 // timer is disarmed; a successful renegotiation arms a fresh one.
-func (s *Server) renegotiate(req Request) Response {
+func (s *Server) renegotiate(ctx context.Context, req *RenegotiateRequest) Envelope {
 	if req.Profile == nil {
-		return Response{Type: MsgError, Error: "renegotiate needs a profile"}
+		return errEnvelope("renegotiate needs a profile")
 	}
 	if err := req.Profile.Validate(); err != nil {
-		return Response{Type: MsgError, Error: err.Error()}
+		return errEnvelope("%s", err)
 	}
 	s.disarmChoiceTimer(req.Session)
-	res, err := s.man.RenegotiateContext(s.baseCtx, req.Session, *req.Profile)
+	res, err := s.man.RenegotiateContext(ctx, req.Session, *req.Profile)
 	if err != nil {
-		return Response{Type: MsgError, Error: err.Error()}
+		return errEnvelope("%s", err)
 	}
-	resp := Response{
-		Type:         MsgResult,
-		Status:       res.Status.String(),
-		Offer:        res.Offer,
-		Reason:       res.Reason,
-		RetryAfterMs: res.RetryAfter.Milliseconds(),
-	}
-	for _, v := range res.Violations {
-		resp.Violations = append(resp.Violations, v.String())
-	}
-	if res.Session != nil {
-		resp.Session = res.Session.ID
-		resp.Cost = res.Session.Cost()
-		resp.ChoicePeriodMs = res.Session.ChoicePeriod.Milliseconds()
-		s.armChoiceTimer(res.Session.ID, res.Session.ChoicePeriod)
-	}
-	return resp
+	return Envelope{Type: MsgResult, Payload: s.resultPayload(res)}
 }
 
-func (s *Server) confirm(req Request) Response {
-	s.disarmChoiceTimer(req.Session)
-	if err := s.man.Confirm(req.Session); err != nil {
-		return Response{Type: MsgError, Error: err.Error()}
+func (s *Server) confirm(id core.SessionID) Envelope {
+	s.disarmChoiceTimer(id)
+	if err := s.man.Confirm(id); err != nil {
+		return errEnvelope("%s", err)
 	}
 	s.mu.Lock()
 	hook := s.confirmHook
 	s.mu.Unlock()
 	if hook != nil {
-		hook(req.Session)
+		hook(id)
 	}
-	return Response{Type: MsgOK, Session: req.Session}
+	return Envelope{Type: MsgOK, Payload: &OKPayload{Session: id}}
 }
 
 // setConfirmHook installs a callback fired after every successful Confirm;
@@ -351,21 +457,16 @@ func (s *Server) registryDocument(id media.DocumentID) (media.Document, error) {
 	return s.reg.Document(id)
 }
 
-func (s *Server) reject(req Request) Response {
-	s.disarmChoiceTimer(req.Session)
-	if err := s.man.Reject(req.Session); err != nil {
-		return Response{Type: MsgError, Error: err.Error()}
+func (s *Server) reject(id core.SessionID) Envelope {
+	s.disarmChoiceTimer(id)
+	if err := s.man.Reject(id); err != nil {
+		return errEnvelope("%s", err)
 	}
-	return Response{Type: MsgOK, Session: req.Session}
+	return Envelope{Type: MsgOK, Payload: &OKPayload{Session: id}}
 }
 
-func (s *Server) session(req Request) Response {
-	sess, err := s.man.Session(req.Session)
-	if err != nil {
-		return Response{Type: MsgError, Error: err.Error()}
-	}
-	return Response{
-		Type:        MsgSessionInfo,
+func sessionInfoPayload(sess *core.Session) *SessionInfoPayload {
+	return &SessionInfoPayload{
 		Session:     sess.ID,
 		State:       sess.State().String(),
 		PositionMs:  sess.Position().Milliseconds(),
@@ -374,37 +475,38 @@ func (s *Server) session(req Request) Response {
 	}
 }
 
-// watch streams session updates until the session reaches a terminal state
-// or the connection breaks. Each sample is a MsgSessionInfo; the last one
-// carries Final=true.
-func (s *Server) watch(req Request, enc *json.Encoder) error {
+func (s *Server) session(id core.SessionID) Envelope {
+	sess, err := s.man.Session(id)
+	if err != nil {
+		return errEnvelope("%s", err)
+	}
+	return Envelope{Type: MsgSessionInfo, Payload: sessionInfoPayload(sess)}
+}
+
+// watchLoop samples one session until it reaches a terminal state, the
+// context is canceled, the server closes, or send fails. Updates are
+// emitted on state or transition changes; the last one carries Final=true.
+func (s *Server) watchLoop(ctx context.Context, req *WatchRequest, send func(Envelope) error) error {
 	interval := time.Duration(req.IntervalMs) * time.Millisecond
 	if interval <= 0 {
 		interval = 200 * time.Millisecond
 	}
 	sess, err := s.man.Session(req.Session)
 	if err != nil {
-		return enc.Encode(Response{Type: MsgError, Error: err.Error()})
+		return send(errEnvelope("%s", err))
 	}
 	var lastState string
 	var lastTransitions int
 	for {
 		state := sess.State()
-		info := Response{
-			Type:        MsgSessionInfo,
-			Session:     sess.ID,
-			State:       state.String(),
-			PositionMs:  sess.Position().Milliseconds(),
-			Transitions: sess.Transitions(),
-			Cost:        sess.Cost(),
-		}
+		info := sessionInfoPayload(sess)
 		terminal := state == core.Completed || state == core.Aborted
 		changed := info.State != lastState || info.Transitions != lastTransitions
 		if terminal {
 			info.Final = true
 		}
 		if changed || terminal {
-			if err := enc.Encode(info); err != nil {
+			if err := send(Envelope{Type: MsgSessionInfo, Payload: info}); err != nil {
 				return err
 			}
 			lastState = info.State
@@ -413,21 +515,30 @@ func (s *Server) watch(req Request, enc *json.Encoder) error {
 		if terminal {
 			return nil
 		}
-		s.mu.Lock()
-		closed := s.closed
-		s.mu.Unlock()
-		if closed {
+		if s.isClosed() {
 			return nil
 		}
-		time.Sleep(interval)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(interval):
+		}
 	}
 }
 
-func (s *Server) listSessions() Response {
-	resp := Response{Type: MsgSessions}
+// watchJSON streams updates on the JSON codec; the connection is busy until
+// the final update.
+func (s *Server) watchJSON(conn net.Conn, req *WatchRequest) error {
+	return s.watchLoop(s.baseCtx, req, func(e Envelope) error {
+		return writeEnvelopeLine(conn, e)
+	})
+}
+
+func (s *Server) listSessions() Envelope {
+	p := &SessionsPayload{}
 	for _, state := range []core.SessionState{core.Reserved, core.Playing, core.Completed, core.Aborted} {
 		for _, sess := range s.man.Sessions(state) {
-			resp.Sessions = append(resp.Sessions, SessionSummary{
+			p.Sessions = append(p.Sessions, SessionSummary{
 				Session:     sess.ID,
 				Document:    sess.Document,
 				State:       state.String(),
@@ -437,24 +548,143 @@ func (s *Server) listSessions() Response {
 			})
 		}
 	}
-	sort.Slice(resp.Sessions, func(i, j int) bool { return resp.Sessions[i].Session < resp.Sessions[j].Session })
-	return resp
+	sort.Slice(p.Sessions, func(i, j int) bool { return p.Sessions[i].Session < p.Sessions[j].Session })
+	return Envelope{Type: MsgSessions, Payload: p}
 }
 
-func (s *Server) listDocuments(req Request) Response {
+func (s *Server) listDocuments(query string) Envelope {
 	ids := s.reg.List()
-	if req.Query != "" {
-		ids = s.reg.SearchTitle(req.Query)
+	if query != "" {
+		ids = s.reg.SearchTitle(query)
 	}
-	resp := Response{Type: MsgDocuments}
+	p := &DocumentsPayload{}
 	for _, id := range ids {
 		d, err := s.reg.Document(id)
 		if err != nil {
 			continue
 		}
-		resp.Documents = append(resp.Documents, DocumentSummary{
+		p.Documents = append(p.Documents, DocumentSummary{
 			ID: d.ID, Title: d.Title, Components: len(d.Monomedia),
 		})
 	}
-	return resp
+	return Envelope{Type: MsgDocuments, Payload: p}
+}
+
+// serveBinary runs the multiplexed frame loop after a successful binary
+// handshake. Each request frame starts a handler goroutine on its stream
+// id; responses are written through a shared frame writer; a cancel frame
+// aborts the stream's context. Framing violations (bad magic or version,
+// oversized frames, reserved or duplicate stream ids) answer a typed
+// MsgError on stream 0 and close the connection.
+func (s *Server) serveBinary(conn net.Conn, r *bufio.Reader, maxStreams int) {
+	fw := newFrameWriter(conn, func(error) { conn.Close() })
+	var (
+		smu                 sync.Mutex
+		active              = make(map[uint32]context.CancelFunc)
+		wg                  sync.WaitGroup
+		sem                 = make(chan struct{}, maxStreams)
+		connCtx, connCancel = context.WithCancel(s.baseCtx)
+	)
+	defer func() {
+		connCancel()
+		wg.Wait()
+		fw.stop()
+	}()
+	sendEnv := func(stream uint32, flags byte, e Envelope) error {
+		data, err := encodeEnvelope(e)
+		if err != nil {
+			return err
+		}
+		return fw.send(frame{Stream: stream, Flags: flags, Payload: data})
+	}
+	fatal := func(err error) {
+		sendEnv(0, flagFIN, errEnvelope("%s", err))
+		fw.stop() // flush the error before the deferred teardown closes conn
+	}
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			if errors.Is(err, ErrBadFrameMagic) || errors.Is(err, ErrBadFrameVersion) || errors.Is(err, ErrFrameTooLarge) {
+				fatal(err)
+			}
+			return
+		}
+		if f.Flags&flagCancel != 0 {
+			smu.Lock()
+			cancel := active[f.Stream]
+			smu.Unlock()
+			if cancel != nil {
+				// Unknown ids are ignored: the stream may have finished
+				// while the cancel was in flight.
+				cancel()
+			}
+			continue
+		}
+		if f.Stream == 0 {
+			fatal(fmt.Errorf("%w: 0 is reserved", ErrBadStreamID))
+			return
+		}
+		env, derr := decodeEnvelope(f.Payload)
+		if derr != nil {
+			sendEnv(f.Stream, flagFIN, errEnvelope("bad request: %v", derr))
+			fw.stop()
+			return
+		}
+		env.StreamID = f.Stream
+		smu.Lock()
+		if _, dup := active[f.Stream]; dup {
+			smu.Unlock()
+			fatal(fmt.Errorf("%w: %d is already open", ErrBadStreamID, f.Stream))
+			return
+		}
+		streamCtx, cancel := context.WithCancel(connCtx)
+		active[f.Stream] = cancel
+		smu.Unlock()
+		// The semaphore bounds handler concurrency at the negotiated
+		// stream cap; at the cap the read loop itself blocks, applying
+		// backpressure to the client.
+		select {
+		case sem <- struct{}{}:
+		case <-connCtx.Done():
+			cancel()
+			return
+		}
+		wg.Add(1)
+		s.streamGauge.Add(1)
+		go func(env Envelope, ctx context.Context, cancel context.CancelFunc) {
+			defer func() {
+				smu.Lock()
+				delete(active, env.StreamID)
+				smu.Unlock()
+				cancel()
+				<-sem
+				s.streamGauge.Add(-1)
+				wg.Done()
+			}()
+			if env.Type == MsgWatch {
+				req, _ := env.Payload.(*WatchRequest)
+				s.watchBinary(ctx, env.StreamID, req, sendEnv)
+				return
+			}
+			resp := s.serve(ctx, env)
+			if ctx.Err() == nil {
+				sendEnv(env.StreamID, flagFIN, resp)
+			}
+		}(env, streamCtx, cancel)
+	}
+}
+
+// watchBinary pushes a watch stream's updates as frames on its stream id;
+// the final update carries the FIN flag.
+func (s *Server) watchBinary(ctx context.Context, stream uint32, req *WatchRequest, sendEnv func(uint32, byte, Envelope) error) {
+	s.watchLoop(ctx, req, func(e Envelope) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		flags := byte(0)
+		if p, ok := e.Payload.(*SessionInfoPayload); (ok && p.Final) || e.Type == MsgError {
+			flags = flagFIN
+		}
+		return sendEnv(stream, flags, e)
+	})
 }

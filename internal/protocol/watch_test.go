@@ -19,7 +19,7 @@ func TestWatchStreamsToCompletion(t *testing.T) {
 	t.Cleanup(p.Stop)
 
 	ctl := h.dial(t)
-	res, err := ctl.Negotiate(bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := ctl.Negotiate(bg, bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil || !res.Status.Reserved() {
 		t.Fatalf("negotiate: %v %v", res.Status, err)
 	}
@@ -29,7 +29,7 @@ func TestWatchStreamsToCompletion(t *testing.T) {
 	done := make(chan []SessionInfo, 1)
 	go func() {
 		var updates []SessionInfo
-		err := watcher.Watch(res.Session, 20*time.Millisecond, func(i SessionInfo) {
+		err := watcher.Watch(bg, res.Session, 20*time.Millisecond, func(i SessionInfo) {
 			updates = append(updates, i)
 		})
 		if err != nil {
@@ -38,7 +38,7 @@ func TestWatchStreamsToCompletion(t *testing.T) {
 		done <- updates
 	}()
 	time.Sleep(50 * time.Millisecond)
-	if err := ctl.Confirm(res.Session); err != nil {
+	if err := ctl.Confirm(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 
@@ -72,12 +72,12 @@ func TestWatchStreamsToCompletion(t *testing.T) {
 func TestWatchUnknownSession(t *testing.T) {
 	h := newHarness(t)
 	c := h.dial(t)
-	err := c.Watch(999, 10*time.Millisecond, func(SessionInfo) {})
+	err := c.Watch(bg, 999, 10*time.Millisecond, func(SessionInfo) {})
 	if err == nil || !strings.Contains(err.Error(), "unknown session") {
 		t.Errorf("watch unknown: %v", err)
 	}
 	// The connection survives for further requests.
-	if _, err := c.ListDocuments(""); err != nil {
+	if _, err := c.ListDocuments(bg, ""); err != nil {
 		t.Errorf("connection broken: %v", err)
 	}
 }
@@ -85,7 +85,7 @@ func TestWatchUnknownSession(t *testing.T) {
 func TestWatchReportsAbort(t *testing.T) {
 	h := newHarness(t)
 	ctl := h.dial(t)
-	res, err := ctl.Negotiate(h.bed.Client(1), "news-1", tvProfile(time.Minute))
+	res, err := ctl.Negotiate(bg, h.bed.Client(1), "news-1", tvProfile(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +93,11 @@ func TestWatchReportsAbort(t *testing.T) {
 	done := make(chan string, 1)
 	go func() {
 		last := ""
-		watcher.Watch(res.Session, 10*time.Millisecond, func(i SessionInfo) { last = i.State })
+		watcher.Watch(bg, res.Session, 10*time.Millisecond, func(i SessionInfo) { last = i.State })
 		done <- last
 	}()
 	time.Sleep(30 * time.Millisecond)
-	if err := ctl.Reject(res.Session); err != nil {
+	if err := ctl.Reject(bg, res.Session); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -1,0 +1,267 @@
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Codec names, as exchanged in the MsgHello handshake. The binary codec is
+// length-prefixed frames carrying the same JSON payloads as the fallback;
+// the JSON codec is the legacy newline-delimited stream, one request at a
+// time.
+const (
+	// CodecJSON is the legacy framing: one JSON value per line, requests
+	// answered in order on a single logical stream.
+	CodecJSON = "json"
+	// CodecBinary is the multiplexed framing: 12-byte binary headers
+	// (magic, version, flags, stream id, payload length) in front of the
+	// same JSON payload bytes, with concurrent streams per connection.
+	CodecBinary = "binary/1"
+)
+
+// WireVersion is the binary framing version this build speaks; it is
+// carried in every frame header and checked on receipt.
+const WireVersion = 1
+
+const (
+	frameMagic0 = 'Q'
+	frameMagic1 = 'N'
+	// frameHeaderSize is magic(2) + version(1) + flags(1) + stream(4) +
+	// length(4).
+	frameHeaderSize = 12
+)
+
+// Frame flags.
+const (
+	// flagFIN marks the last frame of a stream (every unary response; the
+	// final update of a watch stream).
+	flagFIN byte = 1 << 0
+	// flagCancel asks the peer to abandon the stream: no payload, and no
+	// further frames are wanted. Unknown stream ids are ignored — the
+	// stream may have finished while the cancel was in flight.
+	flagCancel byte = 1 << 1
+)
+
+// MaxFramePayload bounds a single frame; larger length prefixes are a
+// protocol error (ErrFrameTooLarge) and close the connection rather than
+// committing the reader to an attacker-sized allocation.
+const MaxFramePayload = 8 << 20
+
+// DefaultMaxStreams is the per-connection cap on concurrently open streams
+// when WireOptions.MaxStreams is zero.
+const DefaultMaxStreams = 256
+
+// Typed framing errors. Both ends answer a best-effort MsgError and close
+// the connection when one of these is detected mid-stream.
+var (
+	// ErrBadFrameMagic: the 2-byte frame preamble was not "QN".
+	ErrBadFrameMagic = errors.New("protocol: bad frame magic")
+	// ErrBadFrameVersion: the frame's version byte is not WireVersion.
+	ErrBadFrameVersion = errors.New("protocol: unsupported frame version")
+	// ErrFrameTooLarge: the length prefix exceeds MaxFramePayload.
+	ErrFrameTooLarge = errors.New("protocol: frame exceeds size limit")
+	// ErrBadStreamID: a request frame used the reserved stream id 0 or
+	// reused a stream id that is still open.
+	ErrBadStreamID = errors.New("protocol: invalid stream id")
+)
+
+// WireOptions tunes a connection's codec negotiation and multiplexing. The
+// zero value offers binary-then-JSON and the default stream cap.
+type WireOptions struct {
+	// Codecs is the preference-ordered codec list offered (client) or
+	// accepted (server). Nil selects [CodecBinary, CodecJSON]. A client
+	// configured as exactly [CodecJSON] skips the hello handshake entirely
+	// and speaks the legacy protocol byte-for-byte.
+	Codecs []string
+	// MaxStreams caps concurrently open streams per multiplexed
+	// connection; 0 selects DefaultMaxStreams.
+	MaxStreams int
+}
+
+func (w WireOptions) codecs() []string {
+	if len(w.Codecs) == 0 {
+		return []string{CodecBinary, CodecJSON}
+	}
+	return w.Codecs
+}
+
+func (w WireOptions) maxStreams() int {
+	if w.MaxStreams <= 0 {
+		return DefaultMaxStreams
+	}
+	return w.MaxStreams
+}
+
+func (w WireOptions) supports(codec string) bool {
+	for _, c := range w.codecs() {
+		if c == codec {
+			return true
+		}
+	}
+	return false
+}
+
+// frame is one unit of the binary codec: a stream id, flags, and the JSON
+// payload bytes (identical to the bytes the JSON codec would put on a
+// line).
+type frame struct {
+	Stream  uint32
+	Flags   byte
+	Payload []byte
+}
+
+// appendFrame appends f's wire encoding to dst.
+func appendFrame(dst []byte, f frame) []byte {
+	var hdr [frameHeaderSize]byte
+	hdr[0], hdr[1] = frameMagic0, frameMagic1
+	hdr[2] = WireVersion
+	hdr[3] = f.Flags
+	binary.BigEndian.PutUint32(hdr[4:8], f.Stream)
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(len(f.Payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...)
+}
+
+// readFrame reads and validates one frame. Transport errors come back
+// verbatim; malformed headers come back as the typed framing errors above.
+func readFrame(r io.Reader) (frame, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	if hdr[0] != frameMagic0 || hdr[1] != frameMagic1 {
+		return frame{}, ErrBadFrameMagic
+	}
+	if hdr[2] != WireVersion {
+		return frame{}, fmt.Errorf("%w: %d", ErrBadFrameVersion, hdr[2])
+	}
+	f := frame{
+		Flags:  hdr[3],
+		Stream: binary.BigEndian.Uint32(hdr[4:8]),
+	}
+	n := binary.BigEndian.Uint32(hdr[8:12])
+	if n > MaxFramePayload {
+		return frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return frame{}, err
+		}
+	}
+	return f, nil
+}
+
+// frameWriter serializes frame writes from concurrent streams onto one
+// connection through a dedicated goroutine, flushing the buffered writer
+// only when the queue drains — so bursts of small responses share syscalls.
+type frameWriter struct {
+	ch   chan frame
+	quit chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// newFrameWriter starts the writer goroutine over w. fail, if non-nil, is
+// invoked once with the first write error (typically to close the
+// connection so the read side unblocks).
+func newFrameWriter(w io.Writer, fail func(error)) *frameWriter {
+	fw := &frameWriter{
+		ch:   make(chan frame, 128),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go fw.loop(w, fail)
+	return fw
+}
+
+func (fw *frameWriter) loop(w io.Writer, fail func(error)) {
+	defer close(fw.done)
+	bw := bufio.NewWriterSize(w, 32<<10)
+	buf := make([]byte, 0, 4<<10)
+	var failed bool
+	flush := func(err error) {
+		if err == nil || failed {
+			return
+		}
+		failed = true
+		fw.mu.Lock()
+		fw.err = err
+		fw.mu.Unlock()
+		if fail != nil {
+			fail(err)
+		}
+	}
+	for {
+		select {
+		case f := <-fw.ch:
+			if failed {
+				continue // drain so senders never block on a dead conn
+			}
+			buf = appendFrame(buf[:0], f)
+			_, err := bw.Write(buf)
+			if err == nil && len(fw.ch) == 0 {
+				// Give runnable producers one scheduler slot to extend the
+				// burst before paying the flush syscall: under concurrent
+				// load many small frames then share one write.
+				runtime.Gosched()
+				if len(fw.ch) == 0 {
+					err = bw.Flush()
+				}
+			}
+			flush(err)
+		case <-fw.quit:
+			// Drain frames already queued so responses written just
+			// before shutdown still reach the peer.
+			for {
+				select {
+				case f := <-fw.ch:
+					if failed {
+						continue
+					}
+					buf = appendFrame(buf[:0], f)
+					if _, err := bw.Write(buf); err != nil {
+						flush(err)
+					}
+				default:
+					if !failed {
+						flush(bw.Flush())
+					}
+					return
+				}
+			}
+		}
+	}
+}
+
+// send enqueues a frame; it returns the writer's terminal error after the
+// writer has stopped or failed.
+func (fw *frameWriter) send(f frame) error {
+	fw.mu.Lock()
+	err := fw.err
+	fw.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case fw.ch <- f:
+		return nil
+	case <-fw.quit:
+		return ErrClientClosed
+	}
+}
+
+// stop flushes pending frames and stops the writer goroutine; safe to call
+// more than once.
+func (fw *frameWriter) stop() {
+	fw.once.Do(func() { close(fw.quit) })
+	<-fw.done
+}

@@ -1,0 +1,159 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestEnvelopeByteCompatibility pins the JSON wire shape of the typed
+// envelope to the exact bytes the pre-envelope protocol put on a line, so
+// legacy peers keep interoperating. Field order inside each payload matters:
+// it mirrors the declaration order of the old Request/Response structs.
+func TestEnvelopeByteCompatibility(t *testing.T) {
+	cases := []struct {
+		name string
+		env  Envelope
+		want string
+	}{
+		{"confirm", Envelope{Type: MsgConfirm, Payload: &SessionRequest{Session: 42}},
+			`{"type":"confirm","session":42}`},
+		{"reject", Envelope{Type: MsgReject, Payload: &SessionRequest{Session: 7}},
+			`{"type":"reject","session":7}`},
+		{"stats", Envelope{Type: MsgStats},
+			`{"type":"stats"}`},
+		{"list-documents", Envelope{Type: MsgListDocuments, Payload: &ListDocumentsRequest{Query: "hockey"}},
+			`{"type":"list-documents","query":"hockey"}`},
+		{"list-documents-empty", Envelope{Type: MsgListDocuments, Payload: &ListDocumentsRequest{}},
+			`{"type":"list-documents"}`},
+		{"watch", Envelope{Type: MsgWatch, Payload: &WatchRequest{Session: 5, IntervalMs: 100}},
+			`{"type":"watch","session":5,"intervalMs":100}`},
+		{"ok", Envelope{Type: MsgOK, Payload: &OKPayload{Session: 42}},
+			`{"type":"ok","session":42}`},
+		{"error", Envelope{Type: MsgError, Payload: &ErrorPayload{Error: "boom"}},
+			`{"type":"error","error":"boom"}`},
+		{"session-info", Envelope{Type: MsgSessionInfo, Payload: &SessionInfoPayload{
+			Session: 3, Cost: 1234, State: "playing", PositionMs: 500, Transitions: 2}},
+			`{"type":"session-info","session":3,"cost":1234,"state":"playing","positionMs":500,"transitions":2}`},
+		{"session-info-final", Envelope{Type: MsgSessionInfo, Payload: &SessionInfoPayload{
+			Session: 3, Cost: 1, State: "completed", Final: true}},
+			`{"type":"session-info","session":3,"cost":1,"state":"completed","final":true}`},
+		{"result", Envelope{Type: MsgResult, Payload: &ResultPayload{
+			Status: "SUCCEEDED", Session: 1, Cost: 250, ChoicePeriodMs: 60000}},
+			`{"type":"result","status":"SUCCEEDED","session":1,"cost":250,"choicePeriodMs":60000}`},
+		{"result-trylater", Envelope{Type: MsgResult, Payload: &ResultPayload{
+			Status: "FAILEDTRYLATER", Reason: "full", RetryAfterMs: 1500}},
+			`{"type":"result","status":"FAILEDTRYLATER","reason":"full","retryAfterMs":1500}`},
+	}
+	for _, tc := range cases {
+		got, err := encodeEnvelope(tc.env)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s:\n got %s\nwant %s", tc.name, got, tc.want)
+		}
+		// And the decode path round-trips to the same bytes.
+		dec, err := decodeEnvelope(got)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		re, err := encodeEnvelope(dec)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", tc.name, err)
+		}
+		if !bytes.Equal(re, got) {
+			t.Errorf("%s: round trip drifted:\n got %s\nwant %s", tc.name, re, got)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte(`{"type":"stats"}`)
+	wire := appendFrame(nil, frame{Stream: 9, Flags: flagFIN, Payload: payload})
+	if len(wire) != frameHeaderSize+len(payload) {
+		t.Fatalf("frame length = %d", len(wire))
+	}
+	f, err := readFrame(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Stream != 9 || f.Flags != flagFIN || !bytes.Equal(f.Payload, payload) {
+		t.Errorf("frame = %+v", f)
+	}
+}
+
+func TestFrameTypedErrors(t *testing.T) {
+	valid := appendFrame(nil, frame{Stream: 1, Payload: []byte("{}")})
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+	if _, err := readFrame(bytes.NewReader(badMagic)); !errors.Is(err, ErrBadFrameMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	badVersion := append([]byte(nil), valid...)
+	badVersion[2] = 99
+	if _, err := readFrame(bytes.NewReader(badVersion)); !errors.Is(err, ErrBadFrameVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+
+	// An attacker-sized length prefix must fail the typed check before any
+	// allocation is attempted.
+	oversized := append([]byte(nil), valid[:frameHeaderSize]...)
+	binary.BigEndian.PutUint32(oversized[8:12], MaxFramePayload+1)
+	if _, err := readFrame(bytes.NewReader(oversized)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized: %v", err)
+	}
+
+	// Truncations surface as transport errors, never hangs or panics.
+	for cut := 0; cut < len(valid); cut++ {
+		_, err := readFrame(bytes.NewReader(valid[:cut]))
+		if err == nil {
+			t.Fatalf("truncated frame at %d bytes accepted", cut)
+		}
+	}
+}
+
+// FuzzFrameDecode throws arbitrary bytes at the binary framer: every input
+// must produce frames or a typed/transport error in bounded time — never a
+// panic, a hang, or an oversized allocation.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(appendFrame(nil, frame{Stream: 1, Payload: []byte(`{"type":"stats"}`)}))
+	// The PR 4 crasher analogue: a frame whose payload is a lone "{" — a
+	// truncated JSON value that must not wedge the decoder.
+	f.Add(appendFrame(nil, frame{Stream: 1, Payload: []byte(`{`)}))
+	f.Add(appendFrame(nil, frame{Stream: 0, Flags: flagCancel}))
+	f.Add([]byte{'Q', 'N', WireVersion})                            // truncated header
+	f.Add([]byte{'X', 'X', WireVersion, 0, 0, 0, 0, 1, 0, 0, 0, 0}) // bad magic
+	f.Add([]byte{'Q', 'N', 42, 0, 0, 0, 0, 1, 0, 0, 0, 0})          // bad version
+	oversized := appendFrame(nil, frame{Stream: 1})
+	binary.BigEndian.PutUint32(oversized[8:12], 0xFFFFFFFF)
+	f.Add(oversized[:frameHeaderSize])
+	two := appendFrame(nil, frame{Stream: 1, Payload: []byte(`{"type":"stats"}`)})
+	f.Add(appendFrame(two, frame{Stream: 2, Flags: flagFIN, Payload: []byte(`{"type":"stats-info"}`)}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; ; i++ {
+			fr, err := readFrame(r)
+			if err != nil {
+				if !errors.Is(err, ErrBadFrameMagic) && !errors.Is(err, ErrBadFrameVersion) &&
+					!errors.Is(err, ErrFrameTooLarge) && !errors.Is(err, io.EOF) &&
+					!errors.Is(err, io.ErrUnexpectedEOF) {
+					t.Fatalf("untyped framing error: %v", err)
+				}
+				return
+			}
+			if len(fr.Payload) > MaxFramePayload {
+				t.Fatalf("frame %d exceeds the payload bound: %d", i, len(fr.Payload))
+			}
+			// Whatever decodes must re-encode without panicking.
+			if env, derr := decodeEnvelope(fr.Payload); derr == nil {
+				encodeEnvelope(env)
+			}
+		}
+	})
+}

@@ -83,6 +83,7 @@ type config struct {
 	offerCache  *int
 	health      *core.HealthPolicy
 	retry       protocol.RetryPolicy
+	wire        protocol.WireOptions
 	metrics     *telemetry.Registry
 	tracer      telemetry.Tracer
 }
@@ -168,6 +169,14 @@ func WithRetryPolicy(p protocol.RetryPolicy) Option {
 	return func(c *config) { c.retry = p }
 }
 
+// WithWire sets the wire-codec negotiation options used by both Serve and
+// Dial: the codec preference list and the per-connection stream cap of the
+// multiplexed binary codec. The zero value offers binary with a JSON
+// fallback (see protocol.WireOptions).
+func WithWire(w protocol.WireOptions) Option {
+	return func(c *config) { c.wire = w }
+}
+
 // WithMetrics instruments the whole system with the given telemetry
 // registry: the QoS manager records negotiation outcome counters and
 // per-step latency histograms, every CMFS server and the network record
@@ -216,6 +225,9 @@ type System struct {
 	Ledger *ledger.Ledger
 	// Retry is the redial/backoff policy System.Dial hands to clients.
 	Retry protocol.RetryPolicy
+	// Wire is the codec negotiation configuration (WithWire) Serve and
+	// Dial hand to the protocol layer.
+	Wire protocol.WireOptions
 	// Metrics is the telemetry registry installed by WithMetrics, nil
 	// otherwise. Serve and Dial instrument the wire layer with it.
 	Metrics *telemetry.Registry
@@ -282,6 +294,7 @@ func New(options ...Option) (*System, error) {
 		Faults:   bed.Faults,
 		Ledger:   bed.Ledger,
 		Retry:    cfg.retry,
+		Wire:     cfg.wire,
 		Metrics:  cfg.metrics,
 		Tracer:   cfg.tracer,
 	}, nil
@@ -376,7 +389,7 @@ func (s *System) Player(eng *sim.Engine) *session.Player {
 // Serve exposes the system's QoS manager over the wire protocol on l; it
 // blocks until l is closed. The returned server's Close stops handlers.
 func (s *System) Serve(l net.Listener) (*protocol.Server, error) {
-	srv := protocol.NewServer(s.Manager, s.Registry)
+	srv := protocol.NewServer(s.Manager, s.Registry, protocol.WithServerWire(s.Wire))
 	srv.Instrument(s.Metrics)
 	return srv, srv.Serve(l)
 }
@@ -384,7 +397,7 @@ func (s *System) Serve(l net.Listener) (*protocol.Server, error) {
 // Dial connects a self-healing protocol client to a negotiation daemon
 // using the system's retry policy (WithRetryPolicy).
 func (s *System) Dial(ctx context.Context, addr string) (*protocol.Client, error) {
-	c, err := protocol.DialRetry(ctx, addr, s.Retry)
+	c, err := protocol.DialRetry(ctx, addr, s.Retry, protocol.WithWire(s.Wire))
 	if err != nil {
 		return nil, err
 	}

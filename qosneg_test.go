@@ -108,7 +108,7 @@ func TestSystemServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	docs, err := c.ListDocuments("")
+	docs, err := c.ListDocuments(context.Background(), "")
 	if err != nil || len(docs) != 1 {
 		t.Fatalf("ListDocuments: %v %v", docs, err)
 	}

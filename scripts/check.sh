@@ -42,6 +42,7 @@ echo "== bench compare (smoke vs committed baseline)"
 echo "== fuzz (smoke, 5s per target)"
 go test -run '^$' -fuzz '^FuzzCurveEval$' -fuzztime 5s ./internal/profile
 go test -run '^$' -fuzz '^FuzzServerInput$' -fuzztime 5s ./internal/protocol
+go test -run '^$' -fuzz '^FuzzFrameDecode$' -fuzztime 5s ./internal/protocol
 go test -run '^$' -fuzz '^FuzzTableClassify$' -fuzztime 5s ./internal/cost
 
 echo "check: OK"

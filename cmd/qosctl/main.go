@@ -31,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"qosneg/internal/admission"
 	"qosneg/internal/client"
 	"qosneg/internal/core"
 	"qosneg/internal/media"
@@ -118,6 +119,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if res.Reason != "" {
 			fmt.Fprintf(stdout, "reason: %s\n", res.Reason)
 		}
+		if res.Shed {
+			fmt.Fprintln(stdout, "shed: refused by admission control (overload, not capacity)")
+		}
 		if res.RetryAfter > 0 {
 			fmt.Fprintf(stdout, "retry after: %s\n", res.RetryAfter)
 		}
@@ -174,6 +178,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				continue
 			}
 			fmt.Fprintf(stdout, "%-12s status: %s", name, res.Status)
+			if res.Shed {
+				fmt.Fprint(stdout, " (shed)")
+			}
 			if res.RetryAfter > 0 {
 				fmt.Fprintf(stdout, " (retry after %s)", res.RetryAfter)
 			}
@@ -297,6 +304,10 @@ func printStats(w io.Writer, st core.Stats, snap telemetry.Snapshot, loads []cor
 		fmt.Fprintf(w, "offer cache: %d hits, %d misses (%.0f%% hit rate), %d invalidations, %d entries\n",
 			st.OfferCacheHits, st.OfferCacheMisses, 100*ratio, st.OfferCacheInvalidations, st.OfferCacheEntries)
 	}
+	if st.AdmissionSheds > 0 {
+		fmt.Fprintf(w, "admission sheds: %d (FAILEDTRYLATER by overload, included in the counts above)\n",
+			st.AdmissionSheds)
+	}
 
 	if len(snap.Counters)+len(snap.Histograms) == 0 {
 		fmt.Fprintln(w, "telemetry: daemon not instrumented (no metrics snapshot)")
@@ -333,10 +344,34 @@ func printStats(w io.Writer, st core.Stats, snap telemetry.Snapshot, loads []cor
 	if v := snap.CounterValue(core.MetricRevenue, ""); v > 0 {
 		fmt.Fprintf(w, "revenue: $%.3f\n", float64(v)/1000)
 	}
+	admitted := snap.CounterValue(admission.MetricAdmitted, "")
+	shed := snap.CounterValue(admission.MetricSheds, "")
+	if admitted+shed > 0 {
+		limit, _ := gaugeValue(snap, admission.MetricLimit)
+		inflight, _ := gaugeValue(snap, admission.MetricInFlight)
+		hint, _ := gaugeValue(snap, admission.MetricRetryAfter)
+		fmt.Fprintf(w, "admission: %d admitted, %d shed; limit %d, in-flight %d, retry hint %s\n",
+			admitted, shed, limit, inflight, time.Duration(hint)*time.Millisecond)
+	}
+	if v := snap.CounterValue("qosneg_rpc_shed_total", ""); v > 0 {
+		fmt.Fprintf(w, "wire sheds: %d (binary %d, json %d)\n", v,
+			snap.CounterValue("qosneg_rpc_shed_total", protocol.CodecBinary),
+			snap.CounterValue("qosneg_rpc_shed_total", protocol.CodecJSON))
+	}
 	if len(loads) > 0 {
 		fmt.Fprintln(w, "servers:")
 		printServers(indent(w), loads)
 	}
+}
+
+// gaugeValue finds an unlabeled gauge in the snapshot by name.
+func gaugeValue(snap telemetry.Snapshot, name string) (int64, bool) {
+	for _, g := range snap.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
 }
 
 func quantiles(h telemetry.HistogramPoint) string {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"qosneg"
+	"qosneg/internal/admission"
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
 	"qosneg/internal/faults"
@@ -58,6 +59,8 @@ func main() {
 	faultReserve := flag.Float64("fault-reserve-failure", 0, "probability an injected Reserve fails")
 	faultConnect := flag.Float64("fault-connect-failure", 0, "probability an injected Connect fails")
 	faultLatency := flag.Duration("fault-latency", 0, "injected latency per Reserve/Connect")
+	admit := flag.Bool("admission", false, "enable SLO-driven admission control: overloaded negotiations are shed with FAILEDTRYLATER and a load-derived retry hint")
+	sloP99 := flag.Duration("slo-p99", admission.DefaultSLO, "negotiation-latency p99 target the admission controller defends (with -admission)")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
@@ -84,6 +87,12 @@ func main() {
 		qosneg.WithOptions(opts),
 		qosneg.WithMetrics(reg),
 		qosneg.WithTracer(tracer),
+	}
+	var ctrl *admission.Controller
+	if *admit {
+		ctrl = admission.New(admission.Config{SLO: *sloP99})
+		options = append(options, qosneg.WithAdmission(ctrl))
+		log.Printf("admission control armed (p99 SLO %s)", *sloP99)
 	}
 	var inj *faults.Injector
 	if *faultSeed != 0 || *faultCrash != "" || *faultReserve > 0 || *faultConnect > 0 || *faultLatency > 0 {
@@ -160,7 +169,8 @@ func main() {
 	default:
 		log.Fatalf("qosnegd: unknown -codec %q (want auto, binary or json)", *codec)
 	}
-	srv := protocol.NewServer(sys.Manager, sys.Registry, protocol.WithServerWire(wire))
+	srv := protocol.NewServer(sys.Manager, sys.Registry,
+		protocol.WithServerWire(wire), protocol.WithServerAdmission(ctrl))
 	srv.Instrument(reg)
 	playout := protocol.AttachPlayout(srv, sys.Manager, 100*time.Millisecond)
 

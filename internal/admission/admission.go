@@ -1,0 +1,410 @@
+// Package admission implements SLO-driven admission control for the QoS
+// manager: a controller that watches the signals the stack already
+// produces — negotiation latency (p99 against a declared SLO), in-flight
+// counts and ledger-tracked resource occupancy — and decides, before step
+// 1 of the procedure runs, whether new work is admitted or shed with a
+// FAILEDTRYLATER carrying a load-derived RetryAfter hint.
+//
+// The controller adapts on two axes:
+//
+//   - The concurrency limit follows AIMD: while the windowed p99 of
+//     admitted negotiations stays within the SLO the limit grows by one
+//     per adjustment interval (additive increase); when the p99 breaches
+//     the SLO it halves (multiplicative decrease), down to a floor. Work
+//     arriving above the limit is shed, so admitted requests keep seeing
+//     bounded queueing and their latency stays within the SLO while
+//     goodput plateaus at what the substrate can actually sustain.
+//
+//   - The RetryAfter hint follows MIAD (the inverse): each shed burst
+//     doubles the hint up to a cap (multiplicative increase, so retries
+//     spread out as pressure rises), and every healthy adjustment interval
+//     walks it back down by a fixed step (additive decrease, so the hint
+//     relaxes slowly once the overload clears).
+//
+// A nil *Controller is fully inert: every method is nil-safe and Admit on
+// a nil controller admits at zero cost, so the disabled path adds no
+// overhead to the negotiation hot path.
+package admission
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qosneg/internal/telemetry"
+)
+
+// Metric names exported by the controller; DESIGN.md §13 documents them
+// and qosctl stats renders the totals.
+// DefaultSLO is the p99 latency target a zero Config defends.
+const DefaultSLO = 250 * time.Millisecond
+
+const (
+	MetricSheds      = "qosneg_admission_sheds_total"
+	MetricAdmitted   = "qosneg_admission_admitted_total"
+	MetricInFlight   = "qosneg_admission_inflight"
+	MetricLimit      = "qosneg_admission_limit"
+	MetricRetryAfter = "qosneg_admission_retry_after_ms"
+	MetricP99        = "qosneg_admission_p99_ms"
+)
+
+// Config parameterizes a Controller. The zero value of every field selects
+// a sensible default; only SLO is commonly set explicitly.
+type Config struct {
+	// SLO is the declared p99 target for admitted-negotiation latency;
+	// the AIMD limit shrinks whenever the windowed p99 breaches it.
+	// Default 250ms.
+	SLO time.Duration
+	// MaxInFlight is the hard ceiling on concurrently admitted
+	// negotiations and the AIMD limit's upper bound. Default
+	// 16×GOMAXPROCS.
+	MaxInFlight int
+	// MinInFlight is the AIMD limit's floor: the controller never
+	// throttles below it, so a breached SLO degrades throughput gradually
+	// instead of collapsing it. Default GOMAXPROCS.
+	MinInFlight int
+	// Window is how much latency history feeds the p99 estimate.
+	// Default 2s.
+	Window time.Duration
+	// MinRetryAfter and MaxRetryAfter bound the MIAD retry hint.
+	// Defaults 100ms and 10s.
+	MinRetryAfter time.Duration
+	MaxRetryAfter time.Duration
+	// HintDecay is the additive decrease applied to the retry hint per
+	// healthy adjustment interval. Default 100ms.
+	HintDecay time.Duration
+	// Occupancy, when non-nil together with MaxOccupancy > 0, is polled on
+	// every admission decision; at or above MaxOccupancy new work is shed.
+	// The facade wires it to the resource ledger's open-entry count, so a
+	// substrate saturated with held reservations refuses new sessions even
+	// when negotiation latency still looks healthy.
+	Occupancy    func() int
+	MaxOccupancy int
+	// Clock overrides the time source; tests use it. Default time.Now.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.SLO <= 0 {
+		c.SLO = DefaultSLO
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16 * runtime.GOMAXPROCS(0)
+	}
+	if c.MinInFlight <= 0 {
+		c.MinInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MinInFlight > c.MaxInFlight {
+		c.MinInFlight = c.MaxInFlight
+	}
+	if c.Window <= 0 {
+		c.Window = 2 * time.Second
+	}
+	if c.MinRetryAfter <= 0 {
+		c.MinRetryAfter = 100 * time.Millisecond
+	}
+	if c.MaxRetryAfter <= 0 {
+		c.MaxRetryAfter = 10 * time.Second
+	}
+	if c.MaxRetryAfter < c.MinRetryAfter {
+		c.MaxRetryAfter = c.MinRetryAfter
+	}
+	if c.HintDecay <= 0 {
+		c.HintDecay = 100 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// ringSize bounds the latency window's sample buffer; at 4096 samples the
+// p99 estimate rests on the freshest ~40 above-p99 observations.
+const ringSize = 4096
+
+type sample struct {
+	at  time.Time
+	lat time.Duration
+}
+
+// Controller is the admission gate. Decisions read two atomics (in-flight
+// count and limit) plus an optional occupancy poll; the mutex only covers
+// the latency window and the periodic AIMD/MIAD adjustment.
+type Controller struct {
+	cfg Config
+
+	inflight atomic.Int64
+	limit    atomic.Int64
+	// hintNs is the current RetryAfter in nanoseconds, read lock-free on
+	// the shed path.
+	hintNs atomic.Int64
+
+	admitted atomic.Uint64
+	sheds    atomic.Uint64
+
+	// occ is swappable after construction (the facade binds it to the
+	// ledger once the testbed exists).
+	occ atomic.Pointer[func() int]
+
+	mu         sync.Mutex
+	samples    [ringSize]sample
+	head       int // next write position
+	count      int
+	lastAdjust time.Time
+	lastGrow   time.Time
+	p99Ns      atomic.Int64 // last computed windowed p99
+
+	// Telemetry, installed by Instrument; all nil-safe when absent.
+	shedCtr    *telemetry.Counter
+	admitCtr   *telemetry.Counter
+	inflightG  *telemetry.Gauge
+	limitG     *telemetry.Gauge
+	hintG      *telemetry.Gauge
+	p99G       *telemetry.Gauge
+	growEvery  time.Duration
+	adjustWait time.Duration
+}
+
+// New builds a controller; zero config fields take defaults.
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{cfg: cfg}
+	c.limit.Store(int64(cfg.MaxInFlight))
+	c.hintNs.Store(int64(cfg.MinRetryAfter))
+	if cfg.Occupancy != nil {
+		fn := cfg.Occupancy
+		c.occ.Store(&fn)
+	}
+	// The hint doubles at most once per growEvery, so a shed storm walks it
+	// up in decades rather than saturating on the first burst; the limit
+	// adjusts at most once per adjustWait so one slow outlier cannot halve
+	// it repeatedly within a single window.
+	c.growEvery = 100 * time.Millisecond
+	c.adjustWait = cfg.Window / 8
+	if c.adjustWait < 25*time.Millisecond {
+		c.adjustWait = 25 * time.Millisecond
+	}
+	return c
+}
+
+// SetOccupancy binds the occupancy signal after construction; the facade
+// uses it to point the controller at the resource ledger. Nil-safe.
+func (c *Controller) SetOccupancy(fn func() int) {
+	if c == nil {
+		return
+	}
+	if fn == nil {
+		c.occ.Store(nil)
+		return
+	}
+	c.occ.Store(&fn)
+}
+
+// Instrument registers the controller's metric series; a nil registry (or
+// nil controller) is a no-op.
+func (c *Controller) Instrument(reg *telemetry.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.shedCtr = reg.Counter(MetricSheds,
+		"Requests refused by the admission controller with a RetryAfter hint.")
+	c.admitCtr = reg.Counter(MetricAdmitted,
+		"Requests admitted past the controller.")
+	c.inflightG = reg.Gauge(MetricInFlight,
+		"Currently admitted negotiations in flight.")
+	c.limitG = reg.Gauge(MetricLimit,
+		"Current AIMD concurrency limit.")
+	c.hintG = reg.Gauge(MetricRetryAfter,
+		"Current MIAD RetryAfter hint, milliseconds.")
+	c.p99G = reg.Gauge(MetricP99,
+		"Windowed p99 of admitted-negotiation latency, milliseconds.")
+	c.limitG.Set(c.limit.Load())
+	c.hintG.Set(int64(time.Duration(c.hintNs.Load()) / time.Millisecond))
+}
+
+// SLO returns the declared p99 target; 0 on a nil controller.
+func (c *Controller) SLO() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.SLO
+}
+
+// Admit decides whether one negotiation may run. When admitted it returns
+// a release closure the caller must invoke once the negotiation finishes
+// (it decrements in-flight and feeds the latency window); retryAfter is
+// zero. When shed it returns a nil release and the current load-derived
+// RetryAfter hint. A nil controller admits everything with a nil release.
+func (c *Controller) Admit() (release func(), retryAfter time.Duration, ok bool) {
+	if c == nil {
+		return nil, 0, true
+	}
+	if c.overOccupancy() {
+		return nil, c.shed(), false
+	}
+	if n := c.inflight.Add(1); n > c.limit.Load() {
+		c.inflight.Add(-1)
+		return nil, c.shed(), false
+	}
+	c.admitted.Add(1)
+	c.admitCtr.Inc()
+	c.inflightG.Add(1)
+	start := c.cfg.Clock()
+	return func() {
+		c.inflight.Add(-1)
+		c.inflightG.Add(-1)
+		c.observe(c.cfg.Clock().Sub(start))
+	}, 0, true
+}
+
+// Saturated is the protocol server's cheap pre-dispatch probe: it reports
+// whether an Admit issued now would shed, without reserving a slot. A true
+// answer counts as a shed and returns the hint the busy reply should
+// carry. Nil-safe (a nil controller is never saturated).
+func (c *Controller) Saturated() (retryAfter time.Duration, saturated bool) {
+	if c == nil {
+		return 0, false
+	}
+	if c.inflight.Load() >= c.limit.Load() || c.overOccupancy() {
+		return c.shed(), true
+	}
+	return 0, false
+}
+
+// RetryHint returns the current MIAD RetryAfter without recording a shed;
+// 0 on a nil controller.
+func (c *Controller) RetryHint() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.hintNs.Load())
+}
+
+func (c *Controller) overOccupancy() bool {
+	if c.cfg.MaxOccupancy <= 0 {
+		return false
+	}
+	fn := c.occ.Load()
+	return fn != nil && (*fn)() >= c.cfg.MaxOccupancy
+}
+
+// shed counts one refusal and applies the hint's multiplicative increase,
+// rate-limited to once per growEvery so a burst of sheds walks the hint up
+// instead of slamming it to the cap.
+func (c *Controller) shed() time.Duration {
+	c.sheds.Add(1)
+	c.shedCtr.Inc()
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	if now.Sub(c.lastGrow) >= c.growEvery {
+		c.lastGrow = now
+		h := 2 * time.Duration(c.hintNs.Load())
+		if h > c.cfg.MaxRetryAfter {
+			h = c.cfg.MaxRetryAfter
+		}
+		c.hintNs.Store(int64(h))
+		c.hintG.Set(int64(h / time.Millisecond))
+	}
+	h := time.Duration(c.hintNs.Load())
+	c.mu.Unlock()
+	return h
+}
+
+// observe feeds one admitted-negotiation latency into the window and, once
+// per adjustment interval, re-estimates the p99 and applies AIMD to the
+// limit and the additive decrease to the hint.
+func (c *Controller) observe(lat time.Duration) {
+	now := c.cfg.Clock()
+	c.mu.Lock()
+	c.samples[c.head] = sample{at: now, lat: lat}
+	c.head = (c.head + 1) % ringSize
+	if c.count < ringSize {
+		c.count++
+	}
+	if now.Sub(c.lastAdjust) < c.adjustWait {
+		c.mu.Unlock()
+		return
+	}
+	c.lastAdjust = now
+	p99 := c.p99Locked(now)
+	c.p99Ns.Store(int64(p99))
+	lim := c.limit.Load()
+	if p99 > c.cfg.SLO {
+		lim /= 2
+		if lim < int64(c.cfg.MinInFlight) {
+			lim = int64(c.cfg.MinInFlight)
+		}
+	} else {
+		if lim++; lim > int64(c.cfg.MaxInFlight) {
+			lim = int64(c.cfg.MaxInFlight)
+		}
+		// Healthy interval: walk the retry hint back down additively.
+		h := time.Duration(c.hintNs.Load()) - c.cfg.HintDecay
+		if h < c.cfg.MinRetryAfter {
+			h = c.cfg.MinRetryAfter
+		}
+		c.hintNs.Store(int64(h))
+		c.hintG.Set(int64(h / time.Millisecond))
+	}
+	c.limit.Store(lim)
+	c.mu.Unlock()
+	c.limitG.Set(lim)
+	c.p99G.Set(int64(p99 / time.Millisecond))
+}
+
+// p99Locked estimates the 99th percentile of the samples still inside the
+// window. Called with mu held.
+func (c *Controller) p99Locked(now time.Time) time.Duration {
+	cutoff := now.Add(-c.cfg.Window)
+	lats := make([]time.Duration, 0, c.count)
+	for i := 0; i < c.count; i++ {
+		s := c.samples[(c.head-1-i+2*ringSize)%ringSize]
+		if s.at.Before(cutoff) {
+			break // samples run newest to oldest; the rest are older still
+		}
+		lats = append(lats, s.lat)
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := (99*len(lats) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return lats[idx]
+}
+
+// Stats is a point-in-time snapshot of the controller's state.
+type Stats struct {
+	// Admitted and Sheds count decisions since construction.
+	Admitted uint64
+	Sheds    uint64
+	// InFlight and Limit are the current occupancy and AIMD bound.
+	InFlight int
+	Limit    int
+	// RetryHint is the hint the next shed would carry.
+	RetryHint time.Duration
+	// P99 is the last windowed p99 estimate (0 until the first adjustment).
+	P99 time.Duration
+	// SLO echoes the declared target.
+	SLO time.Duration
+}
+
+// Stats snapshots the controller; the zero Stats on a nil controller.
+func (c *Controller) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Admitted:  c.admitted.Load(),
+		Sheds:     c.sheds.Load(),
+		InFlight:  int(c.inflight.Load()),
+		Limit:     int(c.limit.Load()),
+		RetryHint: time.Duration(c.hintNs.Load()),
+		P99:       time.Duration(c.p99Ns.Load()),
+		SLO:       c.cfg.SLO,
+	}
+}

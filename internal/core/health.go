@@ -129,6 +129,12 @@ func (p HealthPolicy) retryAfter() time.Duration {
 
 // serverHealth is the breaker state the manager keeps per server.
 type serverHealth struct {
+	// gen counts failure recordings against the server. Success evidence
+	// is stamped with the generation current when it was gathered and
+	// only clears breaker state while the generation still matches:
+	// a slow commit that reserved before a quarantine tripped must not
+	// lift that quarantine when it finally reports in.
+	gen uint64
 	// consecutive counts capacity-class failures since the last success.
 	consecutive int
 	// quarantinedUntil is non-zero while the server is quarantined.
@@ -171,6 +177,7 @@ func (m *Manager) recordCommitFailure(f *commitFailure) {
 
 	m.healthMu.Lock()
 	h := m.healthFor(f.server)
+	h.gen++
 	switch f.op {
 	case "reserve":
 		h.reserveFailures++
@@ -218,20 +225,37 @@ func (m *Manager) recordCommitFailure(f *commitFailure) {
 	}
 }
 
+// serverHealthGen snapshots a server's failure-evidence generation. A
+// commit attempt captures it before reserving and hands it back to
+// recordServerSuccess, which ignores the success if any failure was
+// recorded in between.
+func (m *Manager) serverHealthGen(id media.ServerID) uint64 {
+	m.healthMu.Lock()
+	defer m.healthMu.Unlock()
+	if h, ok := m.health[id]; ok {
+		return h.gen
+	}
+	return 0
+}
+
 // recordServerSuccess resets a server's breaker: a successful reserve and
 // connect is proof of health, so the consecutive counter and any pending
-// quarantine are cleared.
-func (m *Manager) recordServerSuccess(id media.ServerID) {
+// quarantine are cleared — unless the evidence is stale. gen is the
+// generation serverHealthGen returned when the successful attempt began;
+// if failures were recorded since, they are newer evidence than this
+// success and the breaker state stands.
+func (m *Manager) recordServerSuccess(id media.ServerID, gen uint64) {
 	m.healthMu.Lock()
 	h, ok := m.health[id]
-	restored := false
-	if ok {
+	applied, restored := false, false
+	if ok && h.gen == gen {
+		applied = true
 		h.consecutive = 0
 		restored = h.quarantinedUntil.After(m.now())
 		h.quarantinedUntil = time.Time{}
 	}
 	m.healthMu.Unlock()
-	if ok {
+	if applied {
 		if restored {
 			// The exclusion world shrank: drop candidate sets filtered
 			// without the restored server's variants.

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"qosneg/internal/admission"
 	"qosneg/internal/client"
 	"qosneg/internal/cmfs"
 	"qosneg/internal/cost"
@@ -101,6 +102,12 @@ type Options struct {
 	// consumers; both may be installed. Like Trace it runs on the
 	// negotiating goroutine and must be fast and non-blocking.
 	Tracer telemetry.Tracer
+	// Admission, when non-nil, gates every negotiation before step 1:
+	// work the controller refuses is answered FAILEDTRYLATER with the
+	// controller's load-derived RetryAfter hint and Result.Shed set,
+	// without running the procedure. Nil disables admission control at
+	// zero cost.
+	Admission *admission.Controller
 }
 
 // DefaultTopK is how many classified offers a negotiation retains by
@@ -151,9 +158,14 @@ type Result struct {
 	Reason string
 	// RetryAfter is the retry hint for FAILEDTRYLATER: how long the
 	// caller should wait before renegotiating (the longest remaining
-	// server quarantine, or the policy's RetryAfter for plain capacity
-	// shortage). Zero for every other status.
+	// server quarantine, the policy's RetryAfter for plain capacity
+	// shortage, or the admission controller's load-derived hint for a
+	// shed). Zero for every other status.
 	RetryAfter time.Duration
+	// Shed marks a FAILEDTRYLATER produced by admission control: the
+	// procedure never ran and no resources were touched, so the caller
+	// should simply retry after RetryAfter.
+	Shed bool
 }
 
 // MediaServer is the continuous-media server surface the manager commits
@@ -256,6 +268,10 @@ type Stats struct {
 	// ended the session while an adaptation or renegotiation was committing
 	// off-lock. Each one is a reservation leak prevented.
 	StaleInstalls int
+	// AdmissionSheds counts requests the admission controller refused
+	// before step 1; each is also counted under Requests and
+	// FailedTryLater, since the caller saw a FAILEDTRYLATER result.
+	AdmissionSheds int
 	// Offer-cache counters, snapshotted from the candidate-set cache: how
 	// many negotiations reused a memoized candidate set, how many computed
 	// one fresh, how many entries were dropped because a generation or
@@ -672,6 +688,15 @@ func (m *Manager) Negotiate(mach client.Machine, docID media.DocumentID, u profi
 // Canceling ctx aborts the pipeline between stages and rolls back any
 // partially committed resources; the context's error is returned.
 func (m *Manager) NegotiateContext(ctx context.Context, mach client.Machine, docID media.DocumentID, u profile.UserProfile) (Result, error) {
+	// Admission control runs before step 1 — and before the registry is
+	// even consulted — so a shed costs nothing but the refusal itself.
+	release, retry, admitted := m.opts.Admission.Admit()
+	if !admitted {
+		return m.shedResult(retry), nil
+	}
+	if release != nil {
+		defer release()
+	}
 	doc, docGen, err := m.registry.Snapshot(docID)
 	if err != nil {
 		return Result{}, err
@@ -746,6 +771,16 @@ func (m *Manager) Renegotiate(id SessionID, u profile.UserProfile) (Result, erro
 // the freshly committed resources are released instead of installed, and
 // ErrChoicePeriodExpired (or ErrBadState) is returned.
 func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profile.UserProfile) (Result, error) {
+	// Admission gates renegotiation too, before the session is touched:
+	// a shed leaves the reservation intact and Reserved, so the client can
+	// simply retry after the hint instead of losing its session.
+	release, retry, admitted := m.opts.Admission.Admit()
+	if !admitted {
+		return m.shedResult(retry), nil
+	}
+	if release != nil {
+		defer release()
+	}
 	s, err := m.Session(id)
 	if err != nil {
 		return Result{}, err
@@ -842,6 +877,22 @@ func (m *Manager) RenegotiateContext(ctx context.Context, id SessionID, u profil
 	return Result{Status: out.status, Offer: &uo, Session: s}, nil
 }
 
+// shedResult books one admission refusal and renders it as the paper's
+// polite refusal: FAILEDTRYLATER with the controller's RetryAfter hint.
+func (m *Manager) shedResult(retry time.Duration) Result {
+	m.statsMu.Lock()
+	m.stats.Requests++
+	m.stats.AdmissionSheds++
+	m.statsMu.Unlock()
+	m.count(FailedTryLater)
+	return Result{
+		Status:     FailedTryLater,
+		Reason:     "admission control: manager overloaded",
+		RetryAfter: retry,
+		Shed:       true,
+	}
+}
+
 func (m *Manager) count(s NegotiationStatus) {
 	m.met.outcome(s)
 	m.statsMu.Lock()
@@ -912,6 +963,7 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 		if !ok {
 			return fail(CauseServerDown, sid, "reserve", fmt.Errorf("%w: %s not registered", ErrServerDown, sid))
 		}
+		healthGen := m.serverHealthGen(sid)
 		netQoS := ch.Variant.NetworkQoS()
 		res, err := entry.server.Reserve(netQoS)
 		if err != nil {
@@ -931,7 +983,7 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 			return fail(cause, sid, "connect", fmt.Errorf("connect %s -> %s: %w", entry.node, mach.Node, err))
 		}
 		cm.conns = append(cm.conns, conn)
-		m.recordServerSuccess(sid)
+		m.recordServerSuccess(sid, healthGen)
 		if m.tracing() {
 			m.trace("choice-committed", r.Key(), string(ch.Monomedia))
 		}

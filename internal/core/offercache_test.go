@@ -251,7 +251,7 @@ func TestOfferCacheQuarantinePurge(t *testing.T) {
 
 	// Restore: the quarantined-world entry is purged in turn, and the full
 	// candidate set comes back.
-	b.man.recordServerSuccess("server-2")
+	b.man.recordServerSuccess("server-2", b.man.serverHealthGen("server-2"))
 	st = b.man.Stats()
 	if st.OfferCacheEntries != 0 {
 		t.Fatalf("after restore: entries = %d, want 0", st.OfferCacheEntries)
@@ -340,7 +340,7 @@ func TestOfferCacheOnOffEquivalence(t *testing.T) {
 		case 5:
 			if quarantined {
 				for _, b := range beds {
-					b.man.recordServerSuccess("server-2")
+					b.man.recordServerSuccess("server-2", b.man.serverHealthGen("server-2"))
 				}
 			} else {
 				for _, b := range beds {
@@ -439,7 +439,7 @@ func coherenceRun(t *testing.T, seed int64) {
 				quarVer.Add(1) // odd: quarantine definitely in force
 			} else {
 				quarVer.Add(1) // even again, then lift it
-				b.man.recordServerSuccess("server-2")
+				b.man.recordServerSuccess("server-2", b.man.serverHealthGen("server-2"))
 			}
 			time.Sleep(time.Millisecond)
 		}

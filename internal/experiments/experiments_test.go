@@ -18,7 +18,7 @@ func runToString(t *testing.T, id string) string {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "F1", "F2"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "F1", "F2"}
 	all := All()
 	if len(all) != len(want) {
 		ids := make([]string, len(all))
@@ -392,6 +392,28 @@ func TestF1F2Render(t *testing.T) {
 		if !strings.Contains(f2, want) {
 			t.Errorf("F2 missing %q:\n%s", want, f2)
 		}
+	}
+}
+
+// TestE19OverloadStudy checks the overload experiment's report: every
+// scenario row renders, sheds appear under overload, and no scenario leaks
+// resources. The rates themselves are machine-dependent and not asserted.
+func TestE19OverloadStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives real-time open-loop load")
+	}
+	out := runToString(t, "E19")
+	for _, want := range []string{
+		"steady 1x", "steady 10x", "bursty 10x", "diurnal 10x", "faulty 10x",
+		"retry-hint",
+		"ledger: empty after every scenario",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E19 missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "LEAK") {
+		t.Errorf("E19 leaked resources:\n%s", out)
 	}
 }
 

@@ -293,6 +293,14 @@ func (s *Server) Reserve(q qos.NetworkQoS) (cmfs.Reservation, error) {
 		return res, err
 	}
 	s.mu.Lock()
+	if s.down {
+		// Crash raced the inner Reserve: its live-set snapshot predates
+		// this reservation, so nothing else will ever release it — undo
+		// the grant here or the stream leaks past the restart.
+		s.mu.Unlock()
+		s.inner.Release(res.ID)
+		return cmfs.Reservation{}, fmt.Errorf("%w: %s is crashed", core.ErrServerDown, s.ID())
+	}
 	s.live[res.ID] = true
 	crashNow := false
 	if s.crashAfter > 0 {

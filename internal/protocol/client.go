@@ -444,6 +444,11 @@ type NegotiationResult struct {
 	Reason       string
 	// RetryAfter is the daemon's retry hint for FAILEDTRYLATER.
 	RetryAfter time.Duration
+	// Shed reports that the daemon's admission controller refused the
+	// request before any reservation work — FAILEDTRYLATER by overload, not
+	// by genuine resource exhaustion. RetryAfter carries the controller's
+	// load-derived hint.
+	Shed bool
 }
 
 func negotiationResult(p *ResultPayload) (NegotiationResult, error) {
@@ -460,6 +465,7 @@ func negotiationResult(p *ResultPayload) (NegotiationResult, error) {
 		Violations:   p.Violations,
 		Reason:       p.Reason,
 		RetryAfter:   time.Duration(p.RetryAfterMs) * time.Millisecond,
+		Shed:         p.Shed,
 	}, nil
 }
 
@@ -522,7 +528,15 @@ type BatchResult struct {
 // siblings. Like Negotiate, the call is never retried across a broken
 // connection.
 func (c *Client) BatchNegotiate(ctx context.Context, items []BatchItem) ([]BatchResult, error) {
-	resp, err := c.roundTrip(ctx, Envelope{Type: MsgBatchNegotiate, Payload: &BatchNegotiateRequest{Items: items}}, false)
+	req := &BatchNegotiateRequest{Items: items}
+	// Propagate the caller's deadline so the server bounds each item's
+	// negotiation independently instead of only the whole batch.
+	if dl, ok := ctx.Deadline(); ok {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			req.TimeoutMs = ms
+		}
+	}
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgBatchNegotiate, Payload: req}, false)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"qosneg/internal/client"
 	"qosneg/internal/core"
@@ -84,6 +85,11 @@ type BatchItem struct {
 // concurrently on the manager side and answered in one round trip.
 type BatchNegotiateRequest struct {
 	Items []BatchItem `json:"items"`
+	// TimeoutMs, when positive, bounds each item's negotiation
+	// independently on the server. The client fills it from its context
+	// deadline, so one slow item is canceled at the deadline (answering
+	// an item-level error) instead of pinning the whole batch past it.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
 }
 
 // Response payloads (server → client). Field order mirrors the legacy
@@ -101,6 +107,14 @@ type ErrorPayload struct {
 	Error string `json:"error,omitempty"`
 }
 
+// BusyPayload carries MsgBusy: the server's typed refusal of a request it
+// shed at admission, with the retry hint the refusal derives from current
+// load.
+type BusyPayload struct {
+	Error        string `json:"error,omitempty"`
+	RetryAfterMs int64  `json:"retryAfterMs,omitempty"`
+}
+
 // ResultPayload answers MsgNegotiate and MsgRenegotiate, and is embedded in
 // every batch item result.
 type ResultPayload struct {
@@ -112,6 +126,10 @@ type ResultPayload struct {
 	ChoicePeriodMs int64              `json:"choicePeriodMs,omitempty"`
 	Violations     []string           `json:"violations,omitempty"`
 	RetryAfterMs   int64              `json:"retryAfterMs,omitempty"`
+	// Shed marks a FAILEDTRYLATER produced by admission control rather
+	// than genuine resource shortage; omitted (and absent on the wire)
+	// otherwise, preserving the legacy byte layout.
+	Shed bool `json:"shed,omitempty"`
 }
 
 // OKPayload answers MsgConfirm and MsgReject.
@@ -202,6 +220,8 @@ func payloadFor(t MessageType) any {
 		return new(HelloAck)
 	case MsgError:
 		return new(ErrorPayload)
+	case MsgBusy:
+		return new(BusyPayload)
 	case MsgResult:
 		return new(ResultPayload)
 	case MsgOK:
@@ -309,16 +329,39 @@ func decodeEnvelope(data []byte) (Envelope, error) {
 	return e, nil
 }
 
-// envelopeError maps a MsgError envelope to a Go error; nil otherwise.
+// ErrBusy is the client-side view of a MsgBusy reply: the server shed the
+// request at admission instead of queueing it. RetryAfter is the server's
+// load-derived hint; callers branch with errors.As.
+type ErrBusy struct {
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *ErrBusy) Error() string {
+	return fmt.Sprintf("protocol: server busy: %s (retry after %s)", e.Message, e.RetryAfter)
+}
+
+// envelopeError maps a MsgError or MsgBusy envelope to a Go error; nil
+// otherwise.
 func envelopeError(e Envelope) error {
-	if e.Type != MsgError {
-		return nil
+	switch e.Type {
+	case MsgBusy:
+		busy := &ErrBusy{Message: "overloaded"}
+		if p, ok := e.Payload.(*BusyPayload); ok {
+			if p.Error != "" {
+				busy.Message = p.Error
+			}
+			busy.RetryAfter = time.Duration(p.RetryAfterMs) * time.Millisecond
+		}
+		return busy
+	case MsgError:
+		msg := "unknown error"
+		if p, ok := e.Payload.(*ErrorPayload); ok && p.Error != "" {
+			msg = p.Error
+		}
+		return fmt.Errorf("protocol: server error: %s", msg)
 	}
-	msg := "unknown error"
-	if p, ok := e.Payload.(*ErrorPayload); ok && p.Error != "" {
-		msg = p.Error
-	}
-	return fmt.Errorf("protocol: server error: %s", msg)
+	return nil
 }
 
 // writeEnvelopeLine writes an envelope in the JSON codec's line framing.

@@ -105,6 +105,12 @@ const (
 	MsgMetricsInfo MessageType = "metrics-info"
 	// MsgError reports a request failure.
 	MsgError MessageType = "error"
+	// MsgBusy reports that the server shed the request at admission —
+	// stream cap reached or the admission controller refusing new work —
+	// with a load-derived RetryAfter hint. Clients surface it as
+	// *ErrBusy. Cheap refusal instead of queueing: the paper's
+	// FAILEDTRYLATER stance applied to the wire itself.
+	MsgBusy MessageType = "busy"
 )
 
 // DocumentSummary is one catalog row of MsgDocuments.

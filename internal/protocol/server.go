@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"qosneg/internal/admission"
 	"qosneg/internal/core"
 	"qosneg/internal/media"
 	"qosneg/internal/registry"
@@ -31,6 +32,10 @@ type Server struct {
 	man  *core.Manager
 	reg  *registry.Registry
 	wire WireOptions
+	// adm, when non-nil, sheds negotiation-class requests with a typed
+	// MsgBusy reply before any reservation work when the controller
+	// reports saturation (WithServerAdmission).
+	adm *admission.Controller
 
 	// baseCtx bounds every negotiation the server runs; Close cancels it
 	// so in-flight pipelines abort and roll back.
@@ -55,7 +60,13 @@ type Server struct {
 	connCtr     *telemetry.CounterFamily
 	streamGauge *telemetry.Gauge
 	expiredCtr  *telemetry.Counter
+	shedCtr     *telemetry.CounterFamily
 }
+
+// defaultShedRetryAfter is the hint a busy reply carries when the stream
+// semaphore is saturated and no admission controller supplies a
+// load-derived one.
+const defaultShedRetryAfter = time.Second
 
 // ServerOption configures NewServer.
 type ServerOption func(*Server)
@@ -66,6 +77,18 @@ type ServerOption func(*Server)
 // protocol — the fallback is unconditional.
 func WithServerWire(w WireOptions) ServerOption {
 	return func(s *Server) { s.wire = w }
+}
+
+// WithServerAdmission installs an admission controller on the server: new
+// negotiation-class requests (negotiate, batch-negotiate, renegotiate) are
+// refused with a typed MsgBusy reply carrying the controller's RetryAfter
+// when the controller reports saturation — cheap refusal before any
+// reservation work, on both codecs. Queries and the step 6
+// confirm/reject of already-admitted sessions are never shed, so running
+// sessions stay manageable under overload. A nil controller disables the
+// check.
+func WithServerAdmission(c *admission.Controller) ServerOption {
+	return func(s *Server) { s.adm = c }
 }
 
 // Instrument wires the server into a telemetry registry: per-RPC latency
@@ -91,6 +114,8 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 		"Currently executing streams on multiplexed connections.")
 	s.expiredCtr = reg.Counter("qosneg_sessions_expired_total",
 		"Sessions aborted by choice-period time-out.")
+	s.shedCtr = reg.CounterFamily("qosneg_rpc_shed_total",
+		"Requests shed with a typed busy reply before dispatch, by codec.", "codec")
 }
 
 // NewServer builds a protocol server over the QoS manager and registry.
@@ -224,6 +249,17 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		// Admission control mirrors the binary codec: negotiation-class
+		// requests are refused with a typed busy reply under saturation.
+		if s.adm != nil && negotiationType(env.Type) {
+			if retry, saturated := s.adm.Saturated(); saturated {
+				s.shedCtr.With(CodecJSON).Inc()
+				if err := writeEnvelopeLine(conn, Envelope{Type: MsgBusy, Payload: &BusyPayload{Error: "admission control: manager overloaded", RetryAfterMs: retry.Milliseconds()}}); err != nil {
+					return
+				}
+				continue
+			}
+		}
 		resp := s.serve(s.baseCtx, env)
 		if err := writeEnvelopeLine(conn, resp); err != nil {
 			return
@@ -267,6 +303,33 @@ func (s *Server) serve(ctx context.Context, env Envelope) Envelope {
 
 func errEnvelope(format string, args ...any) Envelope {
 	return Envelope{Type: MsgError, Payload: &ErrorPayload{Error: fmt.Sprintf(format, args...)}}
+}
+
+func busyEnvelope(msg string, retry time.Duration) Envelope {
+	return Envelope{Type: MsgBusy, Payload: &BusyPayload{Error: msg, RetryAfterMs: retry.Milliseconds()}}
+}
+
+// negotiationType reports whether t starts new negotiation work on the
+// manager — the only request class admission may shed. Queries and the
+// confirm/reject of already-reserved sessions always go through, so
+// overload never strands admitted work.
+func negotiationType(t MessageType) bool {
+	switch t {
+	case MsgNegotiate, MsgBatchNegotiate, MsgRenegotiate:
+		return true
+	}
+	return false
+}
+
+// busyRetry resolves the hint for a shed the controller did not decide
+// (stream-semaphore saturation): the controller's live hint when one is
+// installed, a fixed default otherwise — never zero, so every busy reply
+// tells the client when to come back.
+func (s *Server) busyRetry() time.Duration {
+	if d := s.adm.RetryHint(); d > 0 {
+		return d
+	}
+	return defaultShedRetryAfter
 }
 
 func (s *Server) dispatch(ctx context.Context, env Envelope) Envelope {
@@ -319,6 +382,7 @@ func (s *Server) resultPayload(res core.Result) *ResultPayload {
 		Offer:        res.Offer,
 		Reason:       res.Reason,
 		RetryAfterMs: res.RetryAfter.Milliseconds(),
+		Shed:         res.Shed,
 	}
 	for _, v := range res.Violations {
 		p.Violations = append(p.Violations, v.String())
@@ -357,12 +421,22 @@ func (s *Server) batchNegotiate(ctx context.Context, req *BatchNegotiateRequest)
 		return errEnvelope("batch-negotiate needs at least one item")
 	}
 	results := make([]BatchItemResult, len(req.Items))
+	// The client propagates its context deadline as TimeoutMs; each item's
+	// negotiation is bounded by it independently, so one slow item times out
+	// on schedule instead of inheriting only the server's base context.
+	timeout := time.Duration(req.TimeoutMs) * time.Millisecond
 	var wg sync.WaitGroup
 	for i := range req.Items {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resp := s.negotiate(ctx, &NegotiateRequest{
+			ictx := ctx
+			if timeout > 0 {
+				var cancel context.CancelFunc
+				ictx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			resp := s.negotiate(ictx, &NegotiateRequest{
 				Machine:  req.Items[i].Machine,
 				Document: req.Items[i].Document,
 				Profile:  req.Items[i].Profile,
@@ -624,6 +698,25 @@ func (s *Server) serveBinary(conn net.Conn, r *bufio.Reader, maxStreams int) {
 			fatal(fmt.Errorf("%w: 0 is reserved", ErrBadStreamID))
 			return
 		}
+		smu.Lock()
+		_, dup := active[f.Stream]
+		smu.Unlock()
+		if dup {
+			fatal(fmt.Errorf("%w: %d is already open", ErrBadStreamID, f.Stream))
+			return
+		}
+		// The semaphore bounds handler concurrency at the negotiated
+		// stream cap. At the cap the stream is shed with a typed busy
+		// reply — before the payload is even parsed — instead of the read
+		// loop blocking, which would silently stall every other stream on
+		// the connection (including cancels) until a handler finished.
+		select {
+		case sem <- struct{}{}:
+		default:
+			s.shedCtr.With(CodecBinary).Inc()
+			sendEnv(f.Stream, flagFIN, busyEnvelope("stream limit reached", s.busyRetry()))
+			continue
+		}
 		env, derr := decodeEnvelope(f.Payload)
 		if derr != nil {
 			sendEnv(f.Stream, flagFIN, errEnvelope("bad request: %v", derr))
@@ -631,24 +724,20 @@ func (s *Server) serveBinary(conn net.Conn, r *bufio.Reader, maxStreams int) {
 			return
 		}
 		env.StreamID = f.Stream
-		smu.Lock()
-		if _, dup := active[f.Stream]; dup {
-			smu.Unlock()
-			fatal(fmt.Errorf("%w: %d is already open", ErrBadStreamID, f.Stream))
-			return
+		// Admission control: refuse new negotiation work with the
+		// controller's load-derived hint before any reservation work runs.
+		if s.adm != nil && negotiationType(env.Type) {
+			if retry, saturated := s.adm.Saturated(); saturated {
+				<-sem
+				s.shedCtr.With(CodecBinary).Inc()
+				sendEnv(f.Stream, flagFIN, busyEnvelope("admission control: manager overloaded", retry))
+				continue
+			}
 		}
 		streamCtx, cancel := context.WithCancel(connCtx)
+		smu.Lock()
 		active[f.Stream] = cancel
 		smu.Unlock()
-		// The semaphore bounds handler concurrency at the negotiated
-		// stream cap; at the cap the read loop itself blocks, applying
-		// backpressure to the client.
-		select {
-		case sem <- struct{}{}:
-		case <-connCtx.Done():
-			cancel()
-			return
-		}
 		wg.Add(1)
 		s.streamGauge.Add(1)
 		go func(env Envelope, ctx context.Context, cancel context.CancelFunc) {

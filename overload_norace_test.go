@@ -1,0 +1,6 @@
+//go:build !race
+
+package qosneg
+
+// raceDetectorOn mirrors overload_race_test.go for normal builds.
+const raceDetectorOn = false

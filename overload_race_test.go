@@ -1,0 +1,9 @@
+//go:build race
+
+package qosneg
+
+// raceDetectorOn scales the overload harness down under -race: the race
+// detector is after data races on the shed paths, not open-loop statistics,
+// and the full 100k-arrival run would take minutes at race-instrumented
+// speed.
+const raceDetectorOn = true

@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"qosneg/internal/adaptation"
+	"qosneg/internal/admission"
 	"qosneg/internal/client"
 	"qosneg/internal/cmfs"
 	"qosneg/internal/core"
@@ -86,6 +87,7 @@ type config struct {
 	wire        protocol.WireOptions
 	metrics     *telemetry.Registry
 	tracer      telemetry.Tracer
+	admission   *admission.Controller
 }
 
 // Option configures New; the With* constructors build them.
@@ -196,6 +198,18 @@ func WithTracer(tr telemetry.Tracer) Option {
 	return func(c *config) { c.tracer = tr }
 }
 
+// WithAdmission installs an SLO-driven admission controller on the system:
+// the QoS manager sheds negotiation requests with FAILEDTRYLATER (and a
+// load-derived RetryAfter hint) when the controller reports overload, and
+// servers built by Serve refuse negotiation-class RPCs with a typed busy
+// reply before any reservation work. New wires the controller's occupancy
+// signal to the system's resource ledger and, when WithMetrics is also set,
+// instruments it. A nil controller disables admission control (the
+// default): the gates are then a single nil check — the zero-overhead path.
+func WithAdmission(c *admission.Controller) Option {
+	return func(cfg *config) { cfg.admission = c }
+}
+
 // WithFaultInjector wraps every CMFS server and the transport system with
 // the given fault injector before they are registered with the manager, so
 // crashes, probabilistic failures and latency can be driven at runtime
@@ -233,6 +247,9 @@ type System struct {
 	Metrics *telemetry.Registry
 	// Tracer is the span tracer installed by WithTracer, nil otherwise.
 	Tracer telemetry.Tracer
+	// Admission is the controller installed by WithAdmission, nil
+	// otherwise; Serve threads it into the protocol server's shed path.
+	Admission *admission.Controller
 }
 
 // New assembles a system from the options; with none it builds the default
@@ -264,10 +281,19 @@ func New(options ...Option) (*System, error) {
 	if cfg.tracer != nil {
 		opts.Tracer = cfg.tracer
 	}
+	if cfg.admission != nil {
+		opts.Admission = cfg.admission
+	}
 	cfg.spec.Options = &opts
 	bed, err := testbed.New(cfg.spec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.admission != nil {
+		cfg.admission.SetOccupancy(bed.Ledger.Open)
+		if cfg.metrics != nil {
+			cfg.admission.Instrument(cfg.metrics)
+		}
 	}
 	if cfg.metrics != nil {
 		for _, srv := range bed.Servers {
@@ -283,20 +309,21 @@ func New(options ...Option) (*System, error) {
 		}
 	}
 	return &System{
-		Registry: bed.Registry,
-		Network:  bed.Network,
-		Transit:  bed.Transit,
-		Manager:  bed.Manager,
-		Servers:  bed.Servers,
-		Clients:  bed.Clients,
-		Profiles: store,
-		Pricing:  bed.Pricing,
-		Faults:   bed.Faults,
-		Ledger:   bed.Ledger,
-		Retry:    cfg.retry,
-		Wire:     cfg.wire,
-		Metrics:  cfg.metrics,
-		Tracer:   cfg.tracer,
+		Registry:  bed.Registry,
+		Network:   bed.Network,
+		Transit:   bed.Transit,
+		Manager:   bed.Manager,
+		Servers:   bed.Servers,
+		Clients:   bed.Clients,
+		Profiles:  store,
+		Pricing:   bed.Pricing,
+		Faults:    bed.Faults,
+		Ledger:    bed.Ledger,
+		Retry:     cfg.retry,
+		Wire:      cfg.wire,
+		Metrics:   cfg.metrics,
+		Tracer:    cfg.tracer,
+		Admission: cfg.admission,
 	}, nil
 }
 
@@ -389,7 +416,8 @@ func (s *System) Player(eng *sim.Engine) *session.Player {
 // Serve exposes the system's QoS manager over the wire protocol on l; it
 // blocks until l is closed. The returned server's Close stops handlers.
 func (s *System) Serve(l net.Listener) (*protocol.Server, error) {
-	srv := protocol.NewServer(s.Manager, s.Registry, protocol.WithServerWire(s.Wire))
+	srv := protocol.NewServer(s.Manager, s.Registry,
+		protocol.WithServerWire(s.Wire), protocol.WithServerAdmission(s.Admission))
 	srv.Instrument(s.Metrics)
 	return srv, srv.Serve(l)
 }

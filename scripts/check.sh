@@ -19,10 +19,13 @@ echo "== go build"
 go build ./...
 
 echo "== go test -race"
-go test -race ./...
+go test -race -shuffle=on ./...
 
 echo "== lifecycle stress gate (short)"
 go test -race -short -count=1 -run 'TestLifecycleStress' ./internal/core
+
+echo "== overload shed gate (race, short)"
+go test -race -short -count=1 -run 'TestOverloadShedBurst|TestServeThreadsAdmission' .
 
 echo "== telemetry zero-alloc gate"
 go test -run 'TestNoopTelemetryZeroAlloc' ./internal/telemetry ./internal/core

@@ -15,6 +15,7 @@
 //	qosctl -addr 127.0.0.1:7000 invoice -id 3
 //	qosctl -addr 127.0.0.1:7000 servers
 //	qosctl -addr 127.0.0.1:7000 stats
+//	qosctl -addr 127.0.0.1:7000 shards
 //
 // The -codec flag pins the wire codec: "auto" (default) negotiates the
 // multiplexed binary codec and falls back to JSON against older daemons,
@@ -38,10 +39,11 @@ import (
 	"qosneg/internal/network"
 	"qosneg/internal/profile"
 	"qosneg/internal/protocol"
+	"qosneg/internal/shard"
 	"qosneg/internal/telemetry"
 )
 
-const usage = "usage: qosctl [flags] list|negotiate|batch|renegotiate|session|sessions|invoice|servers|watch|stats"
+const usage = "usage: qosctl [flags] list|negotiate|batch|renegotiate|session|sessions|invoice|servers|watch|stats|shards"
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -285,6 +287,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		printStats(stdout, st, snap, loads)
+	case "shards":
+		rows, err := c.ShardStats(ctx)
+		if err != nil {
+			return fail(err)
+		}
+		if len(rows) == 0 {
+			fmt.Fprintln(stdout, "daemon runs a single (unsharded) manager")
+			break
+		}
+		printShards(stdout, rows)
 	default:
 		fmt.Fprintf(stderr, "qosctl: unknown command %q\n", fs.Arg(0))
 		return 2
@@ -361,6 +373,31 @@ func printStats(w io.Writer, st core.Stats, snap telemetry.Snapshot, loads []cor
 	if len(loads) > 0 {
 		fmt.Fprintln(w, "servers:")
 		printServers(indent(w), loads)
+	}
+}
+
+// printShards renders the per-shard fleet view: live sessions, outcome
+// counters, update-bus lag and breaker state for each manager shard.
+func printShards(w io.Writer, rows []shard.Stat) {
+	for _, r := range rows {
+		st := r.Stats
+		fmt.Fprintf(w, "shard %d: %d live session(s), bus lag %d\n", r.Shard, r.Sessions, r.BusLag)
+		fmt.Fprintf(w, "  requests %d: SUCCEEDED %d, FAILEDWITHOFFER %d, FAILEDTRYLATER %d, "+
+			"FAILEDWITHOUTOFFER %d, FAILEDWITHLOCALOFFER %d; adaptations %d (failed %d)\n",
+			st.Requests, st.Succeeded, st.FailedWithOffer, st.FailedTryLater,
+			st.FailedWithoutOffer, st.FailedWithLocalOffer, st.Adaptations, st.AdaptationFailures)
+		if st.Quarantines > 0 || st.AdmissionSheds > 0 {
+			fmt.Fprintf(w, "  quarantines %d, admission sheds %d\n", st.Quarantines, st.AdmissionSheds)
+		}
+		for _, b := range r.Breakers {
+			health := "recovered"
+			if b.Quarantined {
+				health = fmt.Sprintf("QUARANTINED %s", time.Duration(b.QuarantineMs)*time.Millisecond)
+			} else if b.ConsecutiveFailures > 0 {
+				health = fmt.Sprintf("%d consecutive failure(s)", b.ConsecutiveFailures)
+			}
+			fmt.Fprintf(w, "  breaker %-12s %-24s trips %d\n", b.Server, health, b.Quarantines)
+		}
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7000", "TCP listen address")
 	servers := flag.Int("servers", 2, "number of CMFS servers")
 	clients := flag.Int("clients", 4, "number of provisioned client attachment points")
+	shards := flag.Int("shards", 0, "manager shards behind consistent-hash session routing (0 runs the classic single manager)")
 	catalog := flag.String("catalog", "", "JSON document catalog to load (default: synthesize articles)")
 	tariff := flag.String("pricing", "", "JSON tariff to load (default: built-in cost tables)")
 	verbose := flag.Bool("verbose", false, "log every negotiation decision (the QoS manager's trace)")
@@ -87,6 +88,9 @@ func main() {
 		qosneg.WithOptions(opts),
 		qosneg.WithMetrics(reg),
 		qosneg.WithTracer(tracer),
+	}
+	if *shards > 0 {
+		options = append(options, qosneg.WithShards(*shards))
 	}
 	var ctrl *admission.Controller
 	if *admit {
@@ -218,6 +222,9 @@ func main() {
 		os.Exit(0)
 	}()
 
+	if sys.Fleet != nil {
+		log.Printf("sharded manager fleet: %d shards behind consistent-hash routing", sys.Fleet.Shards())
+	}
 	log.Printf("qosnegd listening on %s (%d servers, %d client slots, real-time playout on)",
 		l.Addr(), *servers, *clients)
 	if err := srv.Serve(l); err != nil {

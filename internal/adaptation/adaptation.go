@@ -24,13 +24,13 @@ import (
 
 // Monitor watches servers and the network for QoS violations.
 type Monitor struct {
-	man     *core.Manager
+	man     core.SessionManager
 	net     *network.Network
 	servers []*cmfs.Server
 }
 
 // New builds a monitor over the given QoS manager and substrate.
-func New(man *core.Manager, net *network.Network, servers ...*cmfs.Server) *Monitor {
+func New(man core.SessionManager, net *network.Network, servers ...*cmfs.Server) *Monitor {
 	return &Monitor{man: man, net: net, servers: servers}
 }
 

@@ -217,6 +217,12 @@ func (m *Manager) recordCommitFailure(f *commitFailure) {
 		m.statsMu.Lock()
 		m.stats.Quarantines++
 		m.statsMu.Unlock()
+		if m.opts.OnQuarantine != nil {
+			// Locally gathered breaker evidence only: quarantines applied
+			// from a sibling shard go through ApplyQuarantine, which never
+			// re-publishes — so evidence crosses the bus exactly once.
+			m.opts.OnQuarantine(f.server, until)
+		}
 		if m.tracing() {
 			detail := fmt.Sprintf("%s for %s after %s", f.server, m.opts.Health.cooldown(), f.cause)
 			m.trace("quarantine", "", detail)
@@ -262,6 +268,49 @@ func (m *Manager) recordServerSuccess(id media.ServerID, gen uint64) {
 			m.exclusionChanged()
 		}
 		m.met.serverHealthGauges(id, 0, time.Time{})
+	}
+}
+
+// ApplyQuarantine installs externally gathered breaker evidence: the server
+// is quarantined until the given deadline unless a longer local quarantine
+// already stands. The sharded fleet calls it on every sibling of the shard
+// whose breaker tripped, so one shard's hard-down evidence excludes the
+// server fleet-wide without each shard burning its own failed commits.
+//
+// The failure-evidence generation is bumped so an in-flight local commit
+// that started before the evidence arrived cannot clear it on success, and
+// Options.OnQuarantine deliberately does not fire — replicated evidence is
+// never re-published, which is what makes the propagation loop-free.
+func (m *Manager) ApplyQuarantine(id media.ServerID, until time.Time) {
+	if !until.After(m.now()) {
+		return
+	}
+	m.healthMu.Lock()
+	h := m.healthFor(id)
+	h.gen++
+	tripped := false
+	if until.After(h.quarantinedUntil) {
+		tripped = !h.quarantinedUntil.After(m.now())
+		h.quarantinedUntil = until
+	}
+	if tripped {
+		h.quarantines++
+	}
+	consecutive, deadline := h.consecutive, h.quarantinedUntil
+	m.healthMu.Unlock()
+
+	m.met.serverHealthGauges(id, consecutive, deadline)
+	if tripped {
+		m.exclusionChanged()
+		m.met.quarantineTrip()
+		m.statsMu.Lock()
+		m.stats.Quarantines++
+		m.statsMu.Unlock()
+		if m.tracing() {
+			detail := fmt.Sprintf("%s until %s (replicated evidence)", id, until.Format(time.RFC3339))
+			m.trace("quarantine", "", detail)
+			m.span(telemetry.Event{Step: telemetry.StepQuarantine, Server: string(id), Status: "replicated", Detail: detail})
+		}
 	}
 }
 

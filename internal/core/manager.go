@@ -108,6 +108,27 @@ type Options struct {
 	// without running the procedure. Nil disables admission control at
 	// zero cost.
 	Admission *admission.Controller
+	// NextSessionID, when non-nil, replaces the manager's private id
+	// counter: every reserved session gets the allocator's next id. A
+	// sharded fleet installs a per-shard allocator that only emits ids
+	// hashing back to that shard, so a session is always resident where the
+	// consistent-hash router will look for it — and fleet-wide uniqueness
+	// follows from the hash partitions being disjoint, with no cross-shard
+	// coordination. Called under the session-table lock; must be fast.
+	NextSessionID func() SessionID
+	// OnQuarantine, when non-nil, fires after this manager's circuit
+	// breaker trips a quarantine (not on externally applied evidence — see
+	// ApplyQuarantine). The sharded fleet uses it to publish breaker
+	// evidence on the update bus so sibling shards stop offering the dead
+	// server too. Runs on the negotiating goroutine; must be fast and
+	// non-blocking.
+	OnQuarantine func(id media.ServerID, until time.Time)
+	// ShardLabel, when non-empty, labels this manager's negotiation-latency
+	// histogram with a "shard" dimension instead of registering the plain
+	// series — so a fleet's shards share one metrics registry without
+	// colliding, and per-shard latency is visible. Empty (the default)
+	// keeps the unsharded series exactly as before.
+	ShardLabel string
 }
 
 // DefaultTopK is how many classified offers a negotiation retains by
@@ -298,7 +319,7 @@ func NewManager(reg *registry.Registry, ts Transport, pricing cost.Pricing, opts
 		transport: ts,
 		pricing:   pricing,
 		opts:      opts,
-		met:       newNegMetrics(opts.Metrics),
+		met:       newNegMetrics(opts.Metrics, opts.ShardLabel),
 		now:       time.Now,
 		servers:   make(map[media.ServerID]serverEntry),
 		health:    make(map[media.ServerID]*serverHealth),
@@ -740,8 +761,12 @@ func (m *Manager) NegotiateContext(ctx context.Context, mach client.Machine, doc
 		sess.reservedAt = m.now()
 	}
 	m.sessMu.Lock()
-	m.nextID++
-	sess.ID = m.nextID
+	if m.opts.NextSessionID != nil {
+		sess.ID = m.opts.NextSessionID()
+	} else {
+		m.nextID++
+		sess.ID = m.nextID
+	}
 	m.sessions[sess.ID] = sess
 	m.sessMu.Unlock()
 	uo := out.chosen.UserOffer()

@@ -53,15 +53,26 @@ type negMetrics struct {
 }
 
 // newNegMetrics registers the manager's metrics; nil registry → nil metrics.
-func newNegMetrics(reg *telemetry.Registry) *negMetrics {
+// A non-empty shard label registers the end-to-end negotiation histogram as
+// a "shard"-labeled family instead of the plain series, so every shard of a
+// fleet records into its own latency distribution on the shared registry.
+func newNegMetrics(reg *telemetry.Registry, shard string) *negMetrics {
 	if reg == nil {
 		return nil
+	}
+	negSeconds := (*telemetry.Histogram)(nil)
+	if shard == "" {
+		negSeconds = reg.Histogram(MetricNegotiationTime,
+			"End-to-end negotiation latency (steps 1-5).", telemetry.LatencyBuckets)
+	} else {
+		negSeconds = reg.HistogramFamily(MetricNegotiationTime,
+			"End-to-end negotiation latency (steps 1-5), by manager shard.",
+			"shard", telemetry.LatencyBuckets).With(shard)
 	}
 	n := &negMetrics{
 		outcomes: reg.CounterFamily(MetricNegotiations,
 			"Negotiation outcomes by NegotiationStatus.", "status"),
-		negSeconds: reg.Histogram(MetricNegotiationTime,
-			"End-to-end negotiation latency (steps 1-5).", telemetry.LatencyBuckets),
+		negSeconds: negSeconds,
 		steps: reg.HistogramFamily(MetricStepTime,
 			"Per-step negotiation latency.", "step", telemetry.LatencyBuckets),
 		commitFailures: reg.CounterFamily(MetricCommitFailures,

@@ -78,7 +78,7 @@ func runLifecycleStress(t *testing.T, seed int64) {
 	// a single-CPU runner), so the harness forces the interleaving the epoch
 	// guard exists for; the guard must absorb it leak-free.
 	var windows uint64
-	bed.Manager.SetTestHookUnlocked(func(op string, id core.SessionID) {
+	bed.Manager.(*core.Manager).SetTestHookUnlocked(func(op string, id core.SessionID) {
 		if atomic.AddUint64(&windows, 1)%4 != 0 {
 			return
 		}

@@ -29,7 +29,7 @@ var ErrNoDomain = errors.New("domain: no domain carries the document")
 // Domain is one administrative domain: a named, self-contained prototype.
 type Domain struct {
 	Name     string
-	Manager  *core.Manager
+	Manager  core.SessionManager
 	Registry *registry.Registry
 }
 

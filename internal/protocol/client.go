@@ -16,6 +16,7 @@ import (
 	"qosneg/internal/cost"
 	"qosneg/internal/media"
 	"qosneg/internal/profile"
+	"qosneg/internal/shard"
 	"qosneg/internal/telemetry"
 )
 
@@ -757,6 +758,21 @@ func (c *Client) Stats(ctx context.Context) (core.Stats, error) {
 // Deprecated: use Stats.
 func (c *Client) StatsContext(ctx context.Context) (core.Stats, error) {
 	return c.Stats(ctx)
+}
+
+// ShardStats fetches the per-shard breakdown of a daemon fronting a sharded
+// manager fleet: session counts, outcome counters, breaker states and update
+// bus lag per shard. A single-manager daemon answers with no rows.
+func (c *Client) ShardStats(ctx context.Context) ([]shard.Stat, error) {
+	resp, err := c.roundTrip(ctx, Envelope{Type: MsgStats}, true)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := resp.Payload.(*StatsInfoPayload)
+	if !ok {
+		return nil, fmt.Errorf("protocol: empty stats response")
+	}
+	return p.Shards, nil
 }
 
 // Metrics fetches the daemon's telemetry snapshot: every counter, gauge and

@@ -11,6 +11,7 @@ import (
 	"qosneg/internal/cost"
 	"qosneg/internal/media"
 	"qosneg/internal/profile"
+	"qosneg/internal/shard"
 	"qosneg/internal/telemetry"
 )
 
@@ -155,9 +156,12 @@ type DocumentsPayload struct {
 	Documents []DocumentSummary `json:"documents,omitempty"`
 }
 
-// StatsInfoPayload answers MsgStats.
+// StatsInfoPayload answers MsgStats. Shards carries the per-shard breakdown
+// when the daemon fronts a sharded manager fleet (qosnegd -shards); it is
+// absent from single-manager daemons, which older clients parse unchanged.
 type StatsInfoPayload struct {
-	Stats *core.Stats `json:"stats,omitempty"`
+	Stats  *core.Stats  `json:"stats,omitempty"`
+	Shards []shard.Stat `json:"shards,omitempty"`
 }
 
 // SessionsPayload answers MsgListSessions.

@@ -14,7 +14,7 @@ import (
 // document's schedule ends, then completes; querying the session over the
 // protocol shows the live position.
 type Playout struct {
-	man  *core.Manager
+	man  core.SessionManager
 	srv  *Server
 	tick time.Duration
 
@@ -27,7 +27,7 @@ type Playout struct {
 // AttachPlayout wires a real-time playout driver into the server: sessions
 // confirmed through srv start playing immediately. tick is the bookkeeping
 // granularity (default 100 ms).
-func AttachPlayout(srv *Server, man *core.Manager, tick time.Duration) *Playout {
+func AttachPlayout(srv *Server, man core.SessionManager, tick time.Duration) *Playout {
 	if tick <= 0 {
 		tick = 100 * time.Millisecond
 	}

@@ -16,6 +16,7 @@ import (
 	"qosneg/internal/core"
 	"qosneg/internal/media"
 	"qosneg/internal/registry"
+	"qosneg/internal/shard"
 	"qosneg/internal/telemetry"
 )
 
@@ -29,7 +30,7 @@ import (
 // offer within a limited amount of time since the resources are reserved
 // ... If a time-out is reached the session is simply aborted").
 type Server struct {
-	man  *core.Manager
+	man  core.SessionManager
 	reg  *registry.Registry
 	wire WireOptions
 	// adm, when non-nil, sheds negotiation-class requests with a typed
@@ -119,7 +120,7 @@ func (s *Server) Instrument(reg *telemetry.Registry) {
 }
 
 // NewServer builds a protocol server over the QoS manager and registry.
-func NewServer(man *core.Manager, reg *registry.Registry, opts ...ServerOption) *Server {
+func NewServer(man core.SessionManager, reg *registry.Registry, opts ...ServerOption) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		man:     man,
@@ -350,7 +351,13 @@ func (s *Server) dispatch(ctx context.Context, env Envelope) Envelope {
 		return s.listDocuments(env.Payload.(*ListDocumentsRequest).Query)
 	case MsgStats:
 		st := s.man.Stats()
-		return Envelope{Type: MsgStatsInfo, Payload: &StatsInfoPayload{Stats: &st}}
+		p := &StatsInfoPayload{Stats: &st}
+		// A sharded fleet reveals its per-shard breakdown through this
+		// optional interface; a plain manager answers without it.
+		if f, ok := s.man.(interface{ ShardStats() []shard.Stat }); ok {
+			p.Shards = f.ShardStats()
+		}
+		return Envelope{Type: MsgStatsInfo, Payload: p}
 	case MsgListSessions:
 		return s.listSessions()
 	case MsgServerLoads:

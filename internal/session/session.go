@@ -18,13 +18,13 @@ import (
 // Player drives sessions on a simulation engine.
 type Player struct {
 	eng *sim.Engine
-	man *core.Manager
+	man core.SessionManager
 	// Tick is the playout bookkeeping granularity (default 1s).
 	Tick time.Duration
 }
 
 // NewPlayer builds a player over the engine and QoS manager.
-func NewPlayer(eng *sim.Engine, man *core.Manager) *Player {
+func NewPlayer(eng *sim.Engine, man core.SessionManager) *Player {
 	return &Player{eng: eng, man: man, Tick: time.Second}
 }
 

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+)
+
+// The update bus carries cross-shard concerns on three append-only topic
+// logs, each with its own monotonically increasing sequence numbers:
+//
+//   - registry: catalog mutations on the primary registry (per-document, or
+//     a full-catalog replacement after LoadFile);
+//   - pricing: tariff swaps, so every shard's pricing generation advances;
+//   - health: circuit-breaker trips, so one shard's server-down evidence
+//     excludes the server fleet-wide.
+//
+// Shards consume lazily: before every routed call the fleet compares the
+// shard's applied sequence with the topic head (one atomic load each) and
+// replays any pending entries in publication order. The guarantee this
+// yields: a request routed to a shard observes every event published before
+// the routing decision — in particular, a negotiation can never be answered
+// from a catalog or tariff older than one the caller already saw installed.
+type topic int
+
+const (
+	topicRegistry topic = iota
+	topicPricing
+	topicHealth
+	numTopics
+)
+
+var topicNames = [numTopics]string{"registry", "pricing", "health"}
+
+func (t topic) String() string { return topicNames[t] }
+
+// event is one bus entry; which fields are meaningful depends on the topic.
+type event struct {
+	// registry: the mutated document, or full=true for a catalog
+	// replacement (LoadFile).
+	doc  media.DocumentID
+	full bool
+	// pricing: the new tables.
+	pricing cost.Pricing
+	// health: the shard whose breaker gathered the evidence, the server,
+	// and the quarantine deadline.
+	origin int
+	server media.ServerID
+	until  time.Time
+}
+
+// bus holds the per-topic logs. Publication appends under the mutex and
+// bumps the atomic head, so subscribers can detect "nothing new" with one
+// atomic load and no lock. Entries every subscriber has applied are trimmed
+// (the base moves forward), keeping the logs bounded by the slowest shard's
+// lag rather than by history.
+type bus struct {
+	mu   sync.Mutex
+	logs [numTopics][]event
+	// base[t] is the sequence number of the last trimmed entry of topic t:
+	// logs[t][0], when present, carries sequence base[t]+1.
+	base [numTopics]uint64
+	head [numTopics]atomic.Uint64
+}
+
+// publish appends an event and returns its sequence number.
+func (b *bus) publish(t topic, ev event) uint64 {
+	b.mu.Lock()
+	b.logs[t] = append(b.logs[t], ev)
+	seq := b.head[t].Add(1)
+	b.mu.Unlock()
+	return seq
+}
+
+// since copies the entries of topic t with sequence numbers > from, in
+// publication order.
+func (b *bus) since(t topic, from uint64) []event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	start := int(from - b.base[t])
+	if start >= len(b.logs[t]) {
+		return nil
+	}
+	out := make([]event, len(b.logs[t])-start)
+	copy(out, b.logs[t][start:])
+	return out
+}
+
+// trim drops the prefix of topic t through sequence number upTo (the
+// minimum applied sequence across subscribers).
+func (b *bus) trim(t topic, upTo uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if upTo <= b.base[t] {
+		return
+	}
+	drop := int(upTo - b.base[t])
+	if drop > len(b.logs[t]) {
+		drop = len(b.logs[t])
+	}
+	b.logs[t] = append(b.logs[t][:0:0], b.logs[t][drop:]...)
+	b.base[t] += uint64(drop)
+}

@@ -19,6 +19,7 @@ import (
 	"qosneg/internal/network"
 	"qosneg/internal/qos"
 	"qosneg/internal/registry"
+	"qosneg/internal/shard"
 	"qosneg/internal/transport"
 )
 
@@ -27,10 +28,15 @@ type Bed struct {
 	Registry *registry.Registry
 	Network  *network.Network
 	Transit  *transport.System
-	Manager  *core.Manager
-	Servers  map[media.ServerID]*cmfs.Server
-	Clients  map[client.MachineID]client.Machine
-	Pricing  cost.Pricing
+	// Manager is the QoS manager surface: a single *core.Manager by
+	// default, a *shard.Fleet when Spec.Shards asks for one.
+	Manager core.SessionManager
+	// Fleet is the sharded fleet behind Manager when Spec.Shards > 0, nil
+	// for an unsharded bed.
+	Fleet   *shard.Fleet
+	Servers map[media.ServerID]*cmfs.Server
+	Clients map[client.MachineID]client.Machine
+	Pricing cost.Pricing
 	// Faults is the injector the bed was assembled with (Spec.Faults),
 	// nil otherwise.
 	Faults *faults.Injector
@@ -46,6 +52,10 @@ type Spec struct {
 	Clients int
 	// Servers is the number of CMFS servers (default 2).
 	Servers int
+	// Shards, when positive, fronts the bed with a sharded manager fleet of
+	// that many shards instead of a single manager (Bed.Fleet is set). Zero
+	// keeps the classic single *core.Manager.
+	Shards int
 	// ServerConfig overrides the CMFS disk model (default
 	// cmfs.DefaultConfig).
 	ServerConfig *cmfs.Config
@@ -125,7 +135,18 @@ func New(spec Spec) (*Bed, error) {
 	if spec.Faults != nil {
 		ts = spec.Faults.WrapTransport(ts)
 	}
-	bed.Manager = core.NewManager(bed.Registry, ts, bed.Pricing, opts)
+	if spec.Shards > 0 {
+		bed.Fleet = shard.New(shard.Config{
+			Shards:    spec.Shards,
+			Registry:  bed.Registry,
+			Transport: ts,
+			Pricing:   bed.Pricing,
+			Options:   opts,
+		})
+		bed.Manager = bed.Fleet
+	} else {
+		bed.Manager = core.NewManager(bed.Registry, ts, bed.Pricing, opts)
+	}
 	for _, node := range serverNodes {
 		srv, err := cmfs.NewServer(media.ServerID(node), cfg)
 		if err != nil {

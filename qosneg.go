@@ -66,6 +66,7 @@ import (
 	"qosneg/internal/qos"
 	"qosneg/internal/registry"
 	"qosneg/internal/session"
+	"qosneg/internal/shard"
 	"qosneg/internal/sim"
 	"qosneg/internal/telemetry"
 	"qosneg/internal/testbed"
@@ -210,6 +211,22 @@ func WithAdmission(c *admission.Controller) Option {
 	return func(cfg *config) { cfg.admission = c }
 }
 
+// WithShards fronts the system with a sharded manager fleet of n independent
+// manager shards behind consistent-hash session routing (see internal/shard
+// and DESIGN.md §14): new negotiations are placed round-robin, session
+// operations route by session id, the document catalog and pricing replicate
+// to every shard with generation stamps, and breaker evidence propagates
+// fleet-wide over the update bus. System.Fleet holds the fleet handle;
+// System.Manager remains the single surface callers use. With an admission
+// controller (WithAdmission) the gate moves to the fleet router, so a
+// request is admitted once, before routing. WithShards(0) — the default —
+// keeps the classic single manager; WithShards(1) builds a one-shard fleet,
+// which behaves identically to an unsharded system (same session ids, same
+// outcomes) while exercising the routing layer.
+func WithShards(n int) Option {
+	return func(c *config) { c.spec.Shards = n }
+}
+
 // WithFaultInjector wraps every CMFS server and the transport system with
 // the given fault injector before they are registered with the manager, so
 // crashes, probabilistic failures and latency can be driven at runtime
@@ -224,7 +241,10 @@ type System struct {
 	Registry *registry.Registry
 	Network  *network.Network
 	Transit  *transport.System
-	Manager  *core.Manager
+	Manager  core.SessionManager
+	// Fleet is the sharded manager fleet behind Manager when WithShards was
+	// used, nil for a single-manager system.
+	Fleet    *shard.Fleet
 	Servers  map[media.ServerID]*cmfs.Server
 	Clients  map[client.MachineID]client.Machine
 	Profiles *profile.Store
@@ -313,6 +333,7 @@ func New(options ...Option) (*System, error) {
 		Network:   bed.Network,
 		Transit:   bed.Transit,
 		Manager:   bed.Manager,
+		Fleet:     bed.Fleet,
 		Servers:   bed.Servers,
 		Clients:   bed.Clients,
 		Profiles:  store,

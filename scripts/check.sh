@@ -24,6 +24,9 @@ go test -race -shuffle=on ./...
 echo "== lifecycle stress gate (short)"
 go test -race -short -count=1 -run 'TestLifecycleStress' ./internal/core
 
+echo "== sharded lifecycle stress gate (race, short)"
+go test -race -short -count=1 -run 'TestShardLifecycleStress' ./internal/shard
+
 echo "== overload shed gate (race, short)"
 go test -race -short -count=1 -run 'TestOverloadShedBurst|TestServeThreadsAdmission' .
 

@@ -34,6 +34,7 @@ import (
 	"qosneg/internal/cost"
 	"qosneg/internal/faults"
 	"qosneg/internal/media"
+	"qosneg/internal/policy"
 	"qosneg/internal/protocol"
 	"qosneg/internal/telemetry"
 )
@@ -62,6 +63,8 @@ func main() {
 	faultLatency := flag.Duration("fault-latency", 0, "injected latency per Reserve/Connect")
 	admit := flag.Bool("admission", false, "enable SLO-driven admission control: overloaded negotiations are shed with FAILEDTRYLATER and a load-derived retry hint")
 	sloP99 := flag.Duration("slo-p99", admission.DefaultSLO, "negotiation-latency p99 target the admission controller defends (with -admission)")
+	policyName := flag.String("policy", "", "selection/adaptation policy ordering commitment attempts among equally-ranked offers: static (the paper's fixed tie-break, the default) or bandit (online contextual bandit that learns which servers commit reliably)")
+	policySeed := flag.Int64("policy-seed", 1, "deterministic seed for the bandit policy's exploration (with -policy bandit)")
 	flag.Parse()
 
 	opts := core.DefaultOptions()
@@ -91,6 +94,19 @@ func main() {
 	}
 	if *shards > 0 {
 		options = append(options, qosneg.WithShards(*shards))
+	}
+	switch *policyName {
+	case "", "static":
+		// The fixed tie-break; installing policy.Static would be equivalent.
+	case "bandit":
+		cfg := policy.DefaultConfig()
+		cfg.Seed = *policySeed
+		b := policy.NewBandit(cfg)
+		options = append(options,
+			qosneg.WithSelectionPolicy(b), qosneg.WithAdaptationPolicy(b))
+		log.Printf("bandit selection policy armed (seed %d)", *policySeed)
+	default:
+		log.Fatalf("qosnegd: unknown -policy %q (want static or bandit)", *policyName)
 	}
 	var ctrl *admission.Controller
 	if *admit {

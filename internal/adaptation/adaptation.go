@@ -113,22 +113,26 @@ func (m *Monitor) ScanContext(ctx context.Context) Report {
 	return rep
 }
 
-// Attach schedules a recurring Scan on the simulation engine every
+// Attach schedules a recurring sweep on the simulation engine every
 // interval, reporting each non-empty scan to report (which may be nil).
-// The returned stop function cancels future scans.
+// The returned stop function cancels future sweeps and any sweep in flight:
+// it cancels the context every ScanContext (and so every adaptation commit)
+// runs under, so engine shutdown is never blocked behind a slow adaptation —
+// victims the canceled sweep had not reached stay playing, reported as
+// skipped. stop is idempotent and safe to call from any goroutine.
 func (m *Monitor) Attach(eng *sim.Engine, interval time.Duration, report func(Report)) (stop func()) {
-	stopped := false
+	ctx, cancel := context.WithCancel(context.Background())
 	var tick func()
 	tick = func() {
-		if stopped {
+		if ctx.Err() != nil {
 			return
 		}
-		rep := m.Scan()
+		rep := m.ScanContext(ctx)
 		if report != nil && rep.Violations > 0 {
 			report(rep)
 		}
 		eng.MustSchedule(interval, tick)
 	}
 	eng.MustSchedule(interval, tick)
-	return func() { stopped = true }
+	return cancel
 }

@@ -7,6 +7,7 @@ import (
 	"qosneg/internal/cmfs"
 	"qosneg/internal/core"
 	"qosneg/internal/cost"
+	"qosneg/internal/faults"
 	"qosneg/internal/profile"
 	"qosneg/internal/qos"
 	"qosneg/internal/sim"
@@ -160,5 +161,62 @@ func TestAttachPeriodicScan(t *testing.T) {
 	_ = pendingBefore
 	if s.Transitions() != 1 {
 		t.Errorf("stopped monitor kept adapting")
+	}
+}
+
+// TestAttachStopCancelsInFlightSweep pins the cancellation path from
+// Attach's stop function into an in-flight sweep. Two sessions play off the
+// same degraded substrate and every Reserve/Connect stalls behind injected
+// latency, so the sweep that starts before stop() is still mid-commit when
+// the cancellation lands: the first session's adaptation is cut short and
+// the later session must be left alone (skipped for a sweep that will never
+// come), not adapted by a monitor that was already stopped.
+func TestAttachStopCancelsInFlightSweep(t *testing.T) {
+	inj := faults.New(7)
+	b := testbed.MustNew(testbed.Spec{Faults: inj})
+	if _, err := b.AddNewsArticle("news-1", "Election night", 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	var sessions []*core.Session
+	for i := 1; i <= 2; i++ {
+		res, err := b.Manager.Negotiate(b.Client(i), "news-1", tvProfile())
+		if err != nil || !res.Status.Reserved() {
+			t.Fatalf("negotiate %d: %v %v", i, res.Status, err)
+		}
+		if err := b.Manager.Confirm(res.Session.ID); err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, res.Session)
+	}
+	s1, s2 := sessions[0], sessions[1]
+	if s2.ID < s1.ID {
+		s1, s2 = s2, s1 // the sweep adapts in id order; s2 is the later victim
+	}
+	// Both sessions' video servers degrade, so both are victims of the same
+	// sweep; every subsequent Reserve/Connect pays a long injected latency,
+	// so the first adaptation is still stalled in commitment when stop()
+	// fires.
+	b.Servers[s1.Current.Choices[0].Variant.Server].SetDegradation(0.99)
+	if vs2 := s2.Current.Choices[0].Variant.Server; vs2 != s1.Current.Choices[0].Variant.Server {
+		b.Servers[vs2].SetDegradation(0.99)
+	}
+	inj.SetLatency(300 * time.Millisecond)
+
+	eng := sim.NewEngine()
+	stop := monitor(b).Attach(eng, 5*time.Second, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		eng.Run(6 * time.Second) // one tick, at virtual t=5s
+	}()
+	time.Sleep(50 * time.Millisecond) // the tick fires immediately in wall time
+	stop()
+	<-done
+
+	if got := s2.Transitions(); got != 0 {
+		t.Fatalf("stop() did not cancel the in-flight sweep: later session adapted %d times", got)
+	}
+	if st := s2.State(); st != core.Playing {
+		t.Fatalf("later session state = %v, want Playing (left for a sweep that never came)", st)
 	}
 }

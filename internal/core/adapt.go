@@ -83,9 +83,15 @@ func (m *Manager) AdaptContext(ctx context.Context, id SessionID) (Transition, e
 	}
 
 	// Consider the ordered offers except the current one, acceptable set
-	// first, as in step 5.
+	// first, as in step 5. An installed adaptation policy may reorder ties
+	// within each group — same freedom as step 5's selection policy.
+	var adOrder func([]PolicyCandidate) []int
+	if m.opts.Adaptation != nil {
+		adOrder = m.opts.Adaptation.OrderTargets
+	}
 	acceptable, feasible := offer.Partition(ranked, u)
 	for _, group := range [][]offer.Ranked{acceptable, feasible} {
+		group, _ := m.policyOrder(group, u.Desired.Cost.Guarantee, adOrder, "adapt")
 		for _, r := range group {
 			if r.Key() == current.Key() {
 				continue

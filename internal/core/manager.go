@@ -129,6 +129,16 @@ type Options struct {
 	// colliding, and per-shard latency is visible. Empty (the default)
 	// keeps the unsharded series exactly as before.
 	ShardLabel string
+	// Selection, when non-nil, may reorder step 5's commitment attempts
+	// among offers the classifier ranked equal — same Status, same OIF —
+	// and nothing else, so classification stays normative (see policy.go).
+	// Policies that implement PolicyObserver learn from every commit
+	// outcome. Nil keeps the paper's fixed tie-break order byte-for-byte at
+	// zero cost.
+	Selection SelectionPolicy
+	// Adaptation is Selection's counterpart for the adaptation procedure's
+	// target order; the same object may serve both roles.
+	Adaptation AdaptationPolicy
 }
 
 // DefaultTopK is how many classified offers a negotiation retains by
@@ -255,6 +265,9 @@ type Manager struct {
 	// healthMu guards the per-server circuit-breaker state.
 	healthMu sync.Mutex
 	health   map[media.ServerID]*serverHealth
+	// observers is the learning surface of the installed policies, resolved
+	// once at construction; empty when no policy learns.
+	observers []PolicyObserver
 
 	// statsMu guards the outcome counters.
 	statsMu sync.Mutex
@@ -324,6 +337,7 @@ func NewManager(reg *registry.Registry, ts Transport, pricing cost.Pricing, opts
 		servers:   make(map[media.ServerID]serverEntry),
 		health:    make(map[media.ServerID]*serverHealth),
 		sessions:  make(map[SessionID]*Session),
+		observers: policyObservers(opts.Selection, opts.Adaptation),
 	}
 	if opts.OfferCache >= 0 {
 		m.cache = offercache.New(opts.OfferCache)
@@ -576,12 +590,19 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 
 	// Step 5: resource commitment, acceptable set first. Offers touching
 	// a server that already failed as down this negotiation are skipped —
-	// a dead server is attempted at most once per run.
+	// a dead server is attempted at most once per run, however a policy
+	// orders the attempts: the dead set keys on the server and marks it
+	// idempotently, so the bookkeeping is independent of iteration order.
 	dead := make(map[media.ServerID]bool)
 	var downs, capacities, constraints, skipped int
 	var retryAfter time.Duration
+	var selOrder func([]PolicyCandidate) []int
+	if m.opts.Selection != nil {
+		selOrder = m.opts.Selection.OrderCommits
+	}
 	for _, group := range [][]offer.Ranked{acceptable, feasible} {
-		for _, r := range group {
+		group, ranks := m.policyOrder(group, u.Desired.Cost.Guarantee, selOrder, "negotiate")
+		for i, r := range group {
 			if id, onDead := offerOnDead(r, dead); onDead {
 				if m.tracing() {
 					m.trace("skip-dead", r.Key(), string(id))
@@ -609,8 +630,10 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 				}
 				switch fail.cause {
 				case CauseServerDown:
-					downs++
-					dead[fail.server] = true
+					if !dead[fail.server] {
+						dead[fail.server] = true
+						downs++
+					}
 					if rem, ok := m.Quarantined(fail.server); ok && rem > retryAfter {
 						retryAfter = rem
 					}
@@ -624,6 +647,16 @@ func (m *Manager) runProcedure(ctx context.Context, mach client.Machine, doc med
 			status := FailedWithOffer
 			if r.Status != offer.Constraint && offer.WithinBudget(r.SystemOffer, u) {
 				status = Succeeded
+			}
+			if selOrder != nil {
+				// Chosen rank in classical order (the regret-proxy pair: a
+				// good policy commits at low rank with few failed attempts).
+				rank := i
+				if ranks != nil {
+					rank = ranks[i]
+				}
+				m.met.policyChosenRank(rank)
+				m.met.policyRegret(downs + capacities + constraints + skipped)
 			}
 			t.lap(telemetry.StepCommitment)
 			if m.tracing() {
@@ -964,6 +997,7 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 		rollback()
 		f := &commitFailure{cause: cause, server: server, op: op, err: err}
 		m.recordCommitFailure(f)
+		m.observeCommit(server, u.Desired.Cost.Guarantee, cause, 0)
 		return commitment{}, f
 	}
 	var startDelay time.Duration
@@ -990,6 +1024,10 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 		}
 		healthGen := m.serverHealthGen(sid)
 		netQoS := ch.Variant.NetworkQoS()
+		var began time.Time
+		if len(m.observers) > 0 {
+			began = m.now()
+		}
 		res, err := entry.server.Reserve(netQoS)
 		if err != nil {
 			cause := CauseCapacity
@@ -1009,6 +1047,9 @@ func (m *Manager) tryCommit(ctx context.Context, mach client.Machine, doc media.
 		}
 		cm.conns = append(cm.conns, conn)
 		m.recordServerSuccess(sid, healthGen)
+		if len(m.observers) > 0 {
+			m.observeCommit(sid, u.Desired.Cost.Guarantee, CauseNone, m.now().Sub(began))
+		}
 		if m.tracing() {
 			m.trace("choice-committed", r.Key(), string(ch.Monomedia))
 		}

@@ -27,6 +27,13 @@ const (
 	MetricOfferCacheMisses        = "qosneg_offercache_misses_total"
 	MetricOfferCacheInvalidations = "qosneg_offercache_invalidations_total"
 	MetricOfferCacheEntries       = "qosneg_offercache_entries"
+	// Policy series: how often an installed selection/adaptation policy
+	// overrode the classical tie-break, which classical rank the committed
+	// offer held, and how many attempts were burned before success (the
+	// regret proxy a learning policy should drive toward zero).
+	MetricPolicyReorders   = "qosneg_policy_reorders_total"
+	MetricPolicyChosenRank = "qosneg_policy_chosen_rank_total"
+	MetricPolicyRegret     = "qosneg_policy_wasted_attempts_total"
 )
 
 // negMetrics caches the manager's metric series so hot paths record through
@@ -50,6 +57,10 @@ type negMetrics struct {
 	cacheMisses        *telemetry.Counter
 	cacheInvalidations *telemetry.Counter
 	cacheEntries       *telemetry.Gauge
+
+	policyReorders *telemetry.CounterFamily
+	policyRank     *telemetry.CounterFamily
+	policyWasted   *telemetry.Counter
 }
 
 // newNegMetrics registers the manager's metrics; nil registry → nil metrics.
@@ -99,6 +110,12 @@ func newNegMetrics(reg *telemetry.Registry, shard string) *negMetrics {
 			"Cached candidate sets dropped because a document, pricing or exclusion generation moved."),
 		cacheEntries: reg.Gauge(MetricOfferCacheEntries,
 			"Live candidate-set cache entries."),
+		policyReorders: reg.CounterFamily(MetricPolicyReorders,
+			"Tie runs reordered by the installed policy, by procedure.", "procedure"),
+		policyRank: reg.CounterFamily(MetricPolicyChosenRank,
+			"Classical rank of the committed offer under an installed policy.", "rank"),
+		policyWasted: reg.Counter(MetricPolicyRegret,
+			"Commit attempts that failed or were skipped before a policy-ordered run succeeded."),
 	}
 	// Pre-resolve the per-step series so stepTimer.lap never takes the
 	// family's map path on the hot path.
@@ -183,6 +200,33 @@ func (n *negMetrics) offerCacheInvalidations(k int) {
 func (n *negMetrics) offerCacheEntries(k int) {
 	if n != nil {
 		n.cacheEntries.Set(int64(k))
+	}
+}
+
+func (n *negMetrics) policyReorder(procedure string) {
+	if n != nil {
+		n.policyReorders.With(procedure).Inc()
+	}
+}
+
+// policyRankLabels keeps the rank family's cardinality bounded: ranks past 7
+// share one bucket.
+var policyRankLabels = [...]string{"0", "1", "2", "3", "4", "5", "6", "7"}
+
+func (n *negMetrics) policyChosenRank(rank int) {
+	if n == nil {
+		return
+	}
+	label := "8+"
+	if rank >= 0 && rank < len(policyRankLabels) {
+		label = policyRankLabels[rank]
+	}
+	n.policyRank.With(label).Inc()
+}
+
+func (n *negMetrics) policyRegret(wasted int) {
+	if n != nil && wasted > 0 {
+		n.policyWasted.Add(uint64(wasted))
 	}
 }
 

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"time"
+
+	"qosneg/internal/cost"
+	"qosneg/internal/media"
+	"qosneg/internal/offer"
+)
+
+// The policy layer makes step 5's commitment order and the adaptation
+// procedure's target order pluggable — within the freedom the paper leaves.
+// Section 5's classification is normative: offers are attempted in status
+// order, best OIF first. But offers the classifier ranked *equal* — same
+// status, same OIF, typically the same logical configuration replicated on
+// different servers — are interchangeable as far as the user is concerned,
+// and the classical tie-break (total cost, then offer key) is arbitrary. A
+// SelectionPolicy may permute exactly those runs of equals, nothing else; so
+// any policy, however adventurous, preserves the procedure's user-visible
+// QoS ordering, and a nil policy is byte-for-byte today's behaviour at zero
+// cost (the group slice is returned untouched, no candidate features are
+// gathered, no clock is read).
+
+// PolicyServer is the per-server feature vector a policy sees for every
+// server a candidate offer touches: live load from the shared server object
+// and breaker history from the manager's health table.
+type PolicyServer struct {
+	ID media.ServerID
+	// ActiveStreams and Utilization are the server's live load (zero if the
+	// server is not registered with this manager).
+	ActiveStreams int
+	Utilization   float64
+	// ConsecutiveFailures counts commit failures since the server's last
+	// success; Quarantines counts breaker trips over the server's lifetime.
+	ConsecutiveFailures int
+	Quarantines         int
+}
+
+// PolicyCandidate is one offer of a tie run, as presented to a policy.
+type PolicyCandidate struct {
+	// Rank is the candidate's position within the run in classical order
+	// (0 is the offer the fixed tie-break would attempt first).
+	Rank int
+	// Key is the offer's stable identity (offer.SystemOffer.Key).
+	Key string
+	// Status and OIF are the classification parameters; equal across the
+	// run by construction.
+	Status offer.Status
+	OIF    float64
+	// Cost is the offer's total price.
+	Cost cost.Money
+	// Guarantee is the service class the user requested — the QoS-class
+	// feature of a contextual policy.
+	Guarantee cost.Guarantee
+	// Servers lists each distinct server the offer commits against, in
+	// choice order.
+	Servers []PolicyServer
+}
+
+// SelectionPolicy orders step 5's commitment attempts among offers the
+// classifier ranked equal. OrderCommits receives one maximal run of
+// (Status, OIF)-equal candidates, at least two, and returns the order to
+// attempt them in as a permutation of 0..len(ties)-1. A nil or invalid
+// return keeps the classical order, so a policy can always decline.
+// Policies that also implement PolicyObserver receive the outcome of every
+// commit attempt and can learn online.
+type SelectionPolicy interface {
+	// Name labels the policy in logs and reports.
+	Name() string
+	OrderCommits(ties []PolicyCandidate) []int
+}
+
+// AdaptationPolicy is SelectionPolicy's counterpart for the adaptation
+// procedure: OrderTargets orders the tie runs the procedure walks when it
+// picks the alternate configuration for a degraded session. One object may
+// implement both interfaces (the bandit does); the manager then feeds it
+// observations once.
+type AdaptationPolicy interface {
+	Name() string
+	OrderTargets(ties []PolicyCandidate) []int
+}
+
+// CommitObservation is the outcome of one per-server commit attempt, fed to
+// learning policies: CauseNone with the reserve+connect latency on success,
+// the failure cause (server-down, capacity, …) otherwise.
+type CommitObservation struct {
+	Server    media.ServerID
+	Guarantee cost.Guarantee
+	Cause     FailureCause
+	// Latency is the wall time of the successful reserve+connect for this
+	// choice; zero for failures.
+	Latency time.Duration
+}
+
+// PolicyObserver is the optional learning surface of a policy. The manager
+// type-asserts it once at construction; ObserveCommit runs on the
+// negotiating goroutine and must be fast.
+type PolicyObserver interface {
+	ObserveCommit(CommitObservation)
+}
+
+// PolicySummary is one arm's worth of learned policy state in shareable
+// form: additive success/failure evidence for a (server, guarantee) pair,
+// plus a latency estimate. A sharded fleet carries summaries on its update
+// bus so every shard's policy benefits from every shard's commits; additive
+// deltas merge order-independently, so replay order across shards cannot
+// skew the learned state.
+type PolicySummary struct {
+	Server    media.ServerID `json:"server"`
+	Guarantee cost.Guarantee `json:"guarantee"`
+	Successes float64        `json:"successes"`
+	Failures  float64        `json:"failures"`
+	// LatencySeconds is the sharer's commit-latency estimate for the arm;
+	// zero when it has none.
+	LatencySeconds float64 `json:"latencySeconds,omitempty"`
+}
+
+// PolicyForker is implemented by policies that can split into per-shard
+// instances. The fleet forks the configured policy once per shard so each
+// shard learns from its own commits without lock contention, and shares
+// state summaries over the bus instead.
+type PolicyForker interface {
+	ForkPolicy(shard int) SelectionPolicy
+}
+
+// PolicySharer is implemented by policies that exchange learned state.
+// SetShareHook installs the fleet's publisher (called with additive deltas
+// accumulated since the last share); MergePolicy folds a sibling's deltas
+// in. Both may be called concurrently with ordering and observation.
+type PolicySharer interface {
+	SetShareHook(func([]PolicySummary))
+	MergePolicy([]PolicySummary)
+}
+
+// policyObservers resolves the observer list once at construction: the
+// selection policy, and the adaptation policy when it is a distinct object.
+// tryCommit consults the slice with a single len check on the hot path.
+func policyObservers(sel SelectionPolicy, ad AdaptationPolicy) []PolicyObserver {
+	var out []PolicyObserver
+	if ob, ok := sel.(PolicyObserver); ok {
+		out = append(out, ob)
+	}
+	if ob, ok := ad.(PolicyObserver); ok && any(ad) != any(sel) {
+		out = append(out, ob)
+	}
+	return out
+}
+
+// observeCommit feeds one attempt outcome to every learning policy.
+func (m *Manager) observeCommit(server media.ServerID, g cost.Guarantee, cause FailureCause, latency time.Duration) {
+	if len(m.observers) == 0 || server == "" {
+		return
+	}
+	o := CommitObservation{Server: server, Guarantee: g, Cause: cause, Latency: latency}
+	for _, ob := range m.observers {
+		ob.ObserveCommit(o)
+	}
+}
+
+// policyOrder applies one ordering hook to a partition group: each maximal
+// run of (Status, OIF)-equal offers of length ≥ 2 is presented to the
+// policy, and a valid non-identity permutation reorders that run in a fresh
+// copy of the group. It returns the (possibly reordered) group plus, when
+// anything moved, the classical rank of each position — nil means the group
+// is untouched and position equals rank. A nil hook short-circuits to the
+// input slice: the policy-off path allocates nothing and compares nothing
+// beyond this one nil check.
+func (m *Manager) policyOrder(group []offer.Ranked, g cost.Guarantee, order func([]PolicyCandidate) []int, procedure string) ([]offer.Ranked, []int) {
+	if order == nil || len(group) < 2 {
+		return group, nil
+	}
+	var out []offer.Ranked
+	var ranks []int
+	for lo := 0; lo < len(group); {
+		hi := lo + 1
+		for hi < len(group) && group[hi].Status == group[lo].Status && group[hi].OIF == group[lo].OIF {
+			hi++
+		}
+		if hi-lo >= 2 {
+			perm := order(m.policyCandidates(group[lo:hi], g))
+			if len(perm) == hi-lo && validPermutation(perm) && !identityPermutation(perm) {
+				if out == nil {
+					out = append([]offer.Ranked(nil), group...)
+					ranks = make([]int, len(group))
+					for i := range ranks {
+						ranks[i] = i
+					}
+				}
+				for i, p := range perm {
+					out[lo+i] = group[lo+p]
+					ranks[lo+i] = lo + p
+				}
+				m.met.policyReorder(procedure)
+			}
+		}
+		lo = hi
+	}
+	if out == nil {
+		return group, nil
+	}
+	return out, ranks
+}
+
+// policyCandidates builds the feature vectors for one tie run. Server
+// features are gathered once per distinct server across the run.
+func (m *Manager) policyCandidates(run []offer.Ranked, g cost.Guarantee) []PolicyCandidate {
+	seen := make(map[media.ServerID]PolicyServer, 2)
+	out := make([]PolicyCandidate, len(run))
+	for i, r := range run {
+		c := PolicyCandidate{
+			Rank:      i,
+			Key:       r.Key(),
+			Status:    r.Status,
+			OIF:       r.OIF,
+			Cost:      r.Total(),
+			Guarantee: g,
+		}
+		for _, ch := range r.Choices {
+			sid := ch.Variant.Server
+			info, ok := seen[sid]
+			if !ok {
+				info = m.policyServerInfo(sid)
+				seen[sid] = info
+			}
+			dup := false
+			for _, have := range c.Servers {
+				if have.ID == sid {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				c.Servers = append(c.Servers, info)
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// policyServerInfo snapshots one server's live load and breaker history.
+func (m *Manager) policyServerInfo(id media.ServerID) PolicyServer {
+	info := PolicyServer{ID: id}
+	if e, ok := m.serverFor(id); ok {
+		info.ActiveStreams = e.server.ActiveStreams()
+		info.Utilization = e.server.Utilization()
+	}
+	m.healthMu.Lock()
+	if h, ok := m.health[id]; ok {
+		info.ConsecutiveFailures = h.consecutive
+		info.Quarantines = h.quarantines
+	}
+	m.healthMu.Unlock()
+	return info
+}
+
+// validPermutation reports whether perm is a permutation of 0..len(perm)-1.
+// Anything else — wrong length is the caller's concern, out-of-range or
+// repeated indices are caught here — is ignored and the classical order
+// stands.
+func validPermutation(perm []int) bool {
+	if perm == nil {
+		return false
+	}
+	var small [16]bool
+	seen := small[:]
+	if len(perm) > len(seen) {
+		seen = make([]bool, len(perm))
+	} else {
+		seen = seen[:len(perm)]
+	}
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// identityPermutation reports whether perm leaves every index in place.
+func identityPermutation(perm []int) bool {
+	for i, p := range perm {
+		if p != i {
+			return false
+		}
+	}
+	return true
+}

@@ -18,7 +18,7 @@ func runToString(t *testing.T, id string) string {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "F1", "F2"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "F1", "F2"}
 	all := All()
 	if len(all) != len(want) {
 		ids := make([]string, len(all))
@@ -414,6 +414,32 @@ func TestE19OverloadStudy(t *testing.T) {
 	}
 	if strings.Contains(out, "LEAK") {
 		t.Errorf("E19 leaked resources:\n%s", out)
+	}
+}
+
+// TestE20PolicyStudy checks the selection-policy study's acceptance claims:
+// the bandit must strictly beat the static tie-break under faults (fewer
+// failed commitments, earlier last failure), tie on the clean scenario, and
+// no cell may leak resources. runE20 evaluates the comparisons itself and
+// prints UNEXPECTED when one fails, so the test greps for that.
+func TestE20PolicyStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives four 150-negotiation study cells")
+	}
+	out := runToString(t, "E20")
+	for _, want := range []string{
+		"clean", "faulty", "bandit", "static",
+		"fewer failed commitments",
+		"ledger: empty after every cell",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E20 missing %q:\n%s", want, out)
+		}
+	}
+	for _, bad := range []string{"LEAK", "UNEXPECTED"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("E20 reported %s:\n%s", bad, out)
+		}
 	}
 }
 

@@ -5,18 +5,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qosneg/internal/core"
 	"qosneg/internal/cost"
 	"qosneg/internal/media"
 )
 
-// The update bus carries cross-shard concerns on three append-only topic
+// The update bus carries cross-shard concerns on four append-only topic
 // logs, each with its own monotonically increasing sequence numbers:
 //
 //   - registry: catalog mutations on the primary registry (per-document, or
 //     a full-catalog replacement after LoadFile);
 //   - pricing: tariff swaps, so every shard's pricing generation advances;
 //   - health: circuit-breaker trips, so one shard's server-down evidence
-//     excludes the server fleet-wide.
+//     excludes the server fleet-wide;
+//   - policy: learned-policy state summaries, so every shard's selection
+//     policy benefits from every shard's commit outcomes.
 //
 // Shards consume lazily: before every routed call the fleet compares the
 // shard's applied sequence with the topic head (one atomic load each) and
@@ -30,10 +33,11 @@ const (
 	topicRegistry topic = iota
 	topicPricing
 	topicHealth
+	topicPolicy
 	numTopics
 )
 
-var topicNames = [numTopics]string{"registry", "pricing", "health"}
+var topicNames = [numTopics]string{"registry", "pricing", "health", "policy"}
 
 func (t topic) String() string { return topicNames[t] }
 
@@ -46,10 +50,13 @@ type event struct {
 	// pricing: the new tables.
 	pricing cost.Pricing
 	// health: the shard whose breaker gathered the evidence, the server,
-	// and the quarantine deadline.
+	// and the quarantine deadline. origin doubles as the policy topic's
+	// publishing shard.
 	origin int
 	server media.ServerID
 	until  time.Time
+	// policy: additive learned-state deltas from the origin shard's policy.
+	sums []core.PolicySummary
 }
 
 // bus holds the per-topic logs. Publication appends under the mutex and
@@ -76,17 +83,23 @@ func (b *bus) publish(t topic, ev event) uint64 {
 }
 
 // since copies the entries of topic t with sequence numbers > from, in
-// publication order.
-func (b *bus) since(t topic, from uint64) []event {
+// publication order, and returns the sequence number the copy runs through
+// (the caller's new cursor). A cursor older than the trimmed base — a
+// subscriber that missed trims — replays from the base instead of indexing
+// the log with a wrapped-negative offset.
+func (b *bus) since(t topic, from uint64) ([]event, uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if from < b.base[t] {
+		from = b.base[t]
+	}
 	start := int(from - b.base[t])
 	if start >= len(b.logs[t]) {
-		return nil
+		return nil, from
 	}
 	out := make([]event, len(b.logs[t])-start)
 	copy(out, b.logs[t][start:])
-	return out
+	return out, b.base[t] + uint64(len(b.logs[t]))
 }
 
 // trim drops the prefix of topic t through sequence number upTo (the

@@ -1,0 +1,41 @@
+package shard
+
+import (
+	"testing"
+
+	"qosneg/internal/media"
+)
+
+// TestBusSinceAfterTrimReplaysFromBase pins the underflow fix in bus.since:
+// a cursor that predates the trimmed base must replay from the base, not
+// compute a negative slice index. Before the fix, from < base[t] wrapped the
+// uint64 subtraction and int() produced a negative start, so logs[t][start:]
+// panicked.
+func TestBusSinceAfterTrimReplaysFromBase(t *testing.T) {
+	b := &bus{}
+	for i := 0; i < 4; i++ {
+		b.publish(topicHealth, event{server: media.ServerID("server-1"), origin: i})
+	}
+	// Every subscriber applied through sequence 3: entries 1..3 are trimmed.
+	b.trim(topicHealth, 3)
+
+	// A cursor from before the trim window (a late subscriber, or a reset
+	// one) asks for everything after sequence 0.
+	evs, upTo := b.since(topicHealth, 0)
+	if len(evs) != 1 || evs[0].origin != 3 {
+		t.Fatalf("since(0) after trim = %d events %+v, want the 1 retained entry", len(evs), evs)
+	}
+	if upTo != 4 {
+		t.Fatalf("since(0) covered through %d, want head 4", upTo)
+	}
+
+	// In-window cursors keep their exact semantics.
+	evs, upTo = b.since(topicHealth, 3)
+	if len(evs) != 1 || upTo != 4 {
+		t.Fatalf("since(3) = %d events, upTo %d, want 1 event through 4", len(evs), upTo)
+	}
+	evs, upTo = b.since(topicHealth, 4)
+	if len(evs) != 0 || upTo != 4 {
+		t.Fatalf("since(head) = %d events, upTo %d, want none and cursor unchanged", len(evs), upTo)
+	}
+}

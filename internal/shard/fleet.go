@@ -56,6 +56,11 @@ type shardHandle struct {
 	// idMu guards the session-id scan cursor.
 	idMu   sync.Mutex
 	lastID uint64
+
+	// policy is this shard's forked policy instance when the configured
+	// selection policy shares learned state; bus replay merges sibling
+	// summaries into it.
+	policy core.PolicySharer
 }
 
 // Fleet fronts N independent core.Manager shards behind consistent-hash
@@ -110,6 +115,27 @@ func New(cfg Config) *Fleet {
 		opts.OnQuarantine = func(id media.ServerID, until time.Time) {
 			f.publishHealth(idx, id, until)
 		}
+		// A forkable selection policy splits into per-shard instances: each
+		// shard learns lock-free from its own commits, and instances that
+		// share state exchange additive summaries over the policy topic.
+		if forker, ok := opts.Selection.(core.PolicyForker); ok {
+			forked := forker.ForkPolicy(idx)
+			sameObject := any(opts.Adaptation) == any(opts.Selection)
+			opts.Selection = forked
+			if sameObject {
+				if ad, ok := forked.(core.AdaptationPolicy); ok {
+					opts.Adaptation = ad
+				}
+			}
+			if sharer, ok := forked.(core.PolicySharer); ok {
+				sh.policy = sharer
+				if n > 1 {
+					sharer.SetShareHook(func(sums []core.PolicySummary) {
+						f.publishPolicy(idx, sums)
+					})
+				}
+			}
+		}
 		sh.mgr = core.NewManager(sh.replica, cfg.Transport, cfg.Pricing, opts)
 		f.shards = append(f.shards, sh)
 	}
@@ -157,10 +183,21 @@ func (f *Fleet) publishHealth(origin int, id media.ServerID, until time.Time) {
 	f.met.lagGauge(f.busLag())
 }
 
+// publishPolicy broadcasts one shard's learned-policy deltas. Like health,
+// single-shard fleets skip the bus: there is no sibling to teach.
+func (f *Fleet) publishPolicy(origin int, sums []core.PolicySummary) {
+	if len(f.shards) == 1 || len(sums) == 0 {
+		return
+	}
+	f.bus.publish(topicPolicy, event{origin: origin, sums: sums})
+	f.met.published(topicPolicy)
+	f.met.lagGauge(f.busLag())
+}
+
 // catchUp replays any bus entries shard sh has not applied yet, in
 // per-topic publication order. The fast path — shard already at every topic
 // head — is numTopics atomic-load pairs and no lock. Replay applies topics
-// in a fixed order (registry, pricing, health) under the shard's apply
+// in a fixed order (registry, pricing, health, policy) under the shard's apply
 // mutex, so concurrent routed calls to the same shard never interleave
 // partial replays.
 func (f *Fleet) catchUp(sh *shardHandle) {
@@ -177,14 +214,14 @@ func (f *Fleet) catchUp(sh *shardHandle) {
 	sh.applyMu.Lock()
 	for t := topic(0); t < numTopics; t++ {
 		from := sh.applied[t].Load()
-		evs := f.bus.since(t, from)
+		evs, upTo := f.bus.since(t, from)
 		if len(evs) == 0 {
 			continue
 		}
 		for i := range evs {
 			f.apply(sh, t, &evs[i])
 		}
-		sh.applied[t].Store(from + uint64(len(evs)))
+		sh.applied[t].Store(upTo)
 		f.trimTopic(t)
 	}
 	sh.applyMu.Unlock()
@@ -214,6 +251,10 @@ func (f *Fleet) apply(sh *shardHandle, t topic, ev *event) {
 	case topicHealth:
 		if ev.origin != sh.idx {
 			sh.mgr.ApplyQuarantine(ev.server, ev.until)
+		}
+	case topicPolicy:
+		if ev.origin != sh.idx && sh.policy != nil {
+			sh.policy.MergePolicy(ev.sums)
 		}
 	}
 }

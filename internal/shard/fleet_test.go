@@ -246,6 +246,115 @@ func TestCrossShardQuarantinePropagation(t *testing.T) {
 	}
 }
 
+// stubPolicy is a minimal forkable, sharing selection policy: every fork
+// records the summaries merged into it and shares one summary per observed
+// commit, so the test can watch learned state travel the policy topic.
+type stubPolicy struct {
+	mu       sync.Mutex
+	shard    int
+	forks    []*stubPolicy
+	hook     func([]core.PolicySummary)
+	merged   []core.PolicySummary
+	observed int
+}
+
+func (p *stubPolicy) Name() string                                   { return "stub" }
+func (p *stubPolicy) OrderCommits(ties []core.PolicyCandidate) []int { return nil }
+
+func (p *stubPolicy) ForkPolicy(shard int) core.SelectionPolicy {
+	f := &stubPolicy{shard: shard}
+	p.mu.Lock()
+	p.forks = append(p.forks, f)
+	p.mu.Unlock()
+	return f
+}
+
+func (p *stubPolicy) SetShareHook(h func([]core.PolicySummary)) {
+	p.mu.Lock()
+	p.hook = h
+	p.mu.Unlock()
+}
+
+func (p *stubPolicy) MergePolicy(sums []core.PolicySummary) {
+	p.mu.Lock()
+	p.merged = append(p.merged, sums...)
+	p.mu.Unlock()
+}
+
+func (p *stubPolicy) ObserveCommit(o core.CommitObservation) {
+	p.mu.Lock()
+	p.observed++
+	h := p.hook
+	p.mu.Unlock()
+	if h != nil {
+		h([]core.PolicySummary{{Server: o.Server, Guarantee: o.Guarantee, Successes: 1}})
+	}
+}
+
+// A forkable selection policy must be split per shard, and every shard's
+// shared summaries must reach every sibling — and only siblings: no shard
+// merges its own evidence back.
+func TestFleetPolicyPropagation(t *testing.T) {
+	root := &stubPolicy{}
+	opts := core.DefaultOptions()
+	opts.Selection = root
+	bed := testbed.MustNew(testbed.Spec{Shards: 2, Options: &opts})
+	if _, err := bed.AddNewsArticle("news-1", "Election night", 2*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(root.forks) != 2 {
+		t.Fatalf("forked %d policy instances, want 2", len(root.forks))
+	}
+	// Round-robin placement lands commits on both shards; each commit's
+	// observation is shared immediately by the stub.
+	for i := 0; i < 6; i++ {
+		res, err := bed.Manager.Negotiate(bed.Client(1), "news-1", stressProfile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Session != nil {
+			bed.Manager.Reject(res.Session.ID)
+		}
+	}
+	bed.Fleet.Sync()
+	for _, f := range root.forks {
+		f.mu.Lock()
+		observed, merged := f.observed, append([]core.PolicySummary(nil), f.merged...)
+		f.mu.Unlock()
+		if observed == 0 {
+			t.Errorf("shard %d policy observed no commits", f.shard)
+		}
+		if len(merged) == 0 {
+			t.Errorf("shard %d policy merged no sibling summaries", f.shard)
+		}
+		for _, s := range merged {
+			if s.Successes != 1 || s.Server == "" {
+				t.Errorf("shard %d merged malformed summary %+v", f.shard, s)
+			}
+		}
+	}
+	// Conservation: everything merged was observed by the sibling — with no
+	// self-echo, each shard merges exactly what the other observed.
+	if got, want := len(root.forks[0].merged), root.forks[1].observed; got != want {
+		t.Errorf("shard 0 merged %d summaries, sibling observed %d", got, want)
+	}
+	if got, want := len(root.forks[1].merged), root.forks[0].observed; got != want {
+		t.Errorf("shard 1 merged %d summaries, sibling observed %d", got, want)
+	}
+	// A single-shard fleet has no sibling to teach: the share hook must not
+	// be installed at all.
+	solo := &stubPolicy{}
+	soloOpts := core.DefaultOptions()
+	soloOpts.Selection = solo
+	testbed.MustNew(testbed.Spec{Shards: 1, Options: &soloOpts})
+	if len(solo.forks) != 1 {
+		t.Fatalf("single-shard fleet forked %d instances, want 1", len(solo.forks))
+	}
+	if solo.forks[0].hook != nil {
+		t.Error("single-shard fleet installed a policy share hook; there is no sibling to teach")
+	}
+}
+
 // TestShardLifecycleStress is the PR 4 lifecycle-stress harness pointed at a
 // sharded fleet: concurrent workers drive the full session lifecycle with
 // fault injection across 1-, 2- and 4-shard fleets, then the world heals,

@@ -74,7 +74,7 @@ func TestBusOrderingAndTrim(t *testing.T) {
 			t.Fatalf("publish %d returned seq %d", i, seq)
 		}
 	}
-	evs := b.since(topicHealth, 0)
+	evs, _ := b.since(topicHealth, 0)
 	if len(evs) != 10 {
 		t.Fatalf("since(0): %d events, want 10", len(evs))
 	}
@@ -84,17 +84,17 @@ func TestBusOrderingAndTrim(t *testing.T) {
 		}
 	}
 	b.trim(topicHealth, 4)
-	evs = b.since(topicHealth, 4)
+	evs, _ = b.since(topicHealth, 4)
 	if len(evs) != 6 || evs[0].origin != 4 {
 		t.Fatalf("after trim(4), since(4) = %d events starting at origin %v, want 6 starting at 4",
 			len(evs), evs[0].origin)
 	}
-	if got := b.since(topicHealth, 10); got != nil {
+	if got, _ := b.since(topicHealth, 10); got != nil {
 		t.Fatalf("since(head) = %d events, want none", len(got))
 	}
 	// Trimming below the base is a no-op, not a panic.
 	b.trim(topicHealth, 2)
-	if evs := b.since(topicHealth, 4); len(evs) != 6 {
+	if evs, _ := b.since(topicHealth, 4); len(evs) != 6 {
 		t.Fatalf("trim below base disturbed the log: %d events", len(evs))
 	}
 }

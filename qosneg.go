@@ -89,6 +89,8 @@ type config struct {
 	metrics     *telemetry.Registry
 	tracer      telemetry.Tracer
 	admission   *admission.Controller
+	selection   core.SelectionPolicy
+	adaptation  core.AdaptationPolicy
 }
 
 // Option configures New; the With* constructors build them.
@@ -227,6 +229,26 @@ func WithShards(n int) Option {
 	return func(c *config) { c.spec.Shards = n }
 }
 
+// WithSelectionPolicy installs a selection policy on the QoS manager (see
+// internal/policy and DESIGN.md §15): step 5's commitment attempts among
+// offers the classifier ranked equal — same status, same OIF — are ordered
+// by the policy instead of the fixed cost-then-key tie-break. Policies that
+// implement core.PolicyObserver learn online from every commit outcome; on
+// a sharded system (WithShards) a core.PolicyForker splits into per-shard
+// instances that exchange learned state over the update bus. Nil — the
+// default — keeps the paper's fixed order byte-for-byte. It applies on top
+// of WithOptions.
+func WithSelectionPolicy(p core.SelectionPolicy) Option {
+	return func(c *config) { c.selection = p }
+}
+
+// WithAdaptationPolicy is WithSelectionPolicy's counterpart for the
+// adaptation procedure's target order. The same object may serve both
+// roles; the manager then feeds it observations once.
+func WithAdaptationPolicy(p core.AdaptationPolicy) Option {
+	return func(c *config) { c.adaptation = p }
+}
+
 // WithFaultInjector wraps every CMFS server and the transport system with
 // the given fault injector before they are registered with the manager, so
 // crashes, probabilistic failures and latency can be driven at runtime
@@ -303,6 +325,12 @@ func New(options ...Option) (*System, error) {
 	}
 	if cfg.admission != nil {
 		opts.Admission = cfg.admission
+	}
+	if cfg.selection != nil {
+		opts.Selection = cfg.selection
+	}
+	if cfg.adaptation != nil {
+		opts.Adaptation = cfg.adaptation
 	}
 	cfg.spec.Options = &opts
 	bed, err := testbed.New(cfg.spec)

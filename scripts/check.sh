@@ -33,8 +33,14 @@ go test -race -short -count=1 -run 'TestOverloadShedBurst|TestServeThreadsAdmiss
 echo "== telemetry zero-alloc gate"
 go test -run 'TestNoopTelemetryZeroAlloc' ./internal/telemetry ./internal/core
 
-echo "== cached-negotiate allocation gate"
-go test -count=1 -run 'TestCachedNegotiateAllocBound' ./internal/core
+echo "== cached-negotiate allocation gate (policy off must stay free)"
+go test -count=1 -run 'TestCachedNegotiateAllocBound|TestPolicyOffAllocBound' ./internal/core
+
+echo "== policy equivalence gate (race)"
+go test -race -count=1 -run 'TestPolicyOffEquivalence|TestPolicyReorderedFailover' ./internal/policy
+
+echo "== selection-policy study gate (E20)"
+go test -count=1 -run 'TestE20PolicyStudy' ./internal/experiments
 
 echo "== benchmarks (smoke, 1 iteration)"
 ./scripts/bench.sh -smoke
